@@ -1,0 +1,220 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one per table
+// and figure — see DESIGN.md §4) plus microbenchmarks for the heavy
+// substrates. Figure/table benches run at a small design scale so the
+// default `go test -bench=.` completes in minutes; use cmd/exptables for
+// full-size runs.
+package vm1place_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"vm1place/internal/cells"
+	"vm1place/internal/core"
+	"vm1place/internal/expt"
+	"vm1place/internal/layout"
+	"vm1place/internal/lp"
+	"vm1place/internal/milp"
+	"vm1place/internal/netlist"
+	"vm1place/internal/place"
+	"vm1place/internal/route"
+	"vm1place/internal/sta"
+	"vm1place/internal/tech"
+)
+
+// benchScale keeps each figure bench to roughly a minute.
+const benchScale = 0.02
+
+func benchCfg(b *testing.B) expt.SuiteConfig {
+	b.Helper()
+	return expt.SuiteConfig{Scale: benchScale, Workers: 8}
+}
+
+// BenchmarkFig5WindowSweep regenerates ExptA-1 / Figure 5 (window size
+// scalability; perturbation fixed at the paper's preferred lx=4, ly=1).
+func BenchmarkFig5WindowSweep(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		pts := expt.RunFig5(cfg, []float64{10, 20, 40}, [][2]int{{4, 1}})
+		if len(pts) != 3 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+// BenchmarkFig6AlphaSweep regenerates ExptA-2 / Figure 6 (α sensitivity).
+func BenchmarkFig6AlphaSweep(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		pts := expt.RunFig6(cfg, tech.ClosedM1, []float64{0, 1200, 6000})
+		if pts[2].DM1 < pts[0].DM1 {
+			b.Fatalf("alpha sweep shape broken: %+v", pts)
+		}
+	}
+}
+
+// BenchmarkFig7Sequences regenerates ExptA-3 / Figure 7 (U sequences).
+func BenchmarkFig7Sequences(b *testing.B) {
+	cfg := benchCfg(b)
+	seqs := []expt.SequenceSpec{expt.PaperSequences[0], expt.PaperSequences[3]}
+	for i := 0; i < b.N; i++ {
+		pts := expt.RunFig7(cfg, seqs)
+		if len(pts) != 2 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+// BenchmarkTable2ClosedM1 regenerates the ClosedM1 half of Table 2.
+func BenchmarkTable2ClosedM1(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		rows := expt.RunTable2(cfg, tech.ClosedM1)
+		if len(rows) != 4 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkTable2OpenM1 regenerates the OpenM1 half of Table 2.
+func BenchmarkTable2OpenM1(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		rows := expt.RunTable2(cfg, tech.OpenM1)
+		if len(rows) != 4 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkFig8DRVSweep regenerates the Figure 8 congestion study.
+func BenchmarkFig8DRVSweep(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		pts := expt.RunFig8(cfg, []float64{0.75, 0.84})
+		if len(pts) != 2 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+// BenchmarkAblationJointFlip compares sequential perturb-then-flip against
+// joint optimization (the §4.2 design choice).
+func BenchmarkAblationJointFlip(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		_ = expt.RunAblationJointFlip(cfg)
+	}
+}
+
+// --- substrate microbenchmarks -------------------------------------------
+
+func placedDesign(b *testing.B, arch tech.Arch, n int) *layout.Placement {
+	b.Helper()
+	t := tech.Default()
+	lib := cells.NewLibrary(t, arch)
+	d := netlist.Generate(lib, netlist.DefaultGenConfig("bench", n, 5))
+	p := layout.NewFloorplan(t, d, 0.75)
+	if err := place.Global(p, place.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkGlobalPlace measures the global placer + legalizer.
+func BenchmarkGlobalPlace(b *testing.B) {
+	t := tech.Default()
+	lib := cells.NewLibrary(t, tech.ClosedM1)
+	d := netlist.Generate(lib, netlist.DefaultGenConfig("bench", 2000, 5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := layout.NewFloorplan(t, d, 0.75)
+		if err := place.Global(p, place.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteClosedM1 measures a full routing pass.
+func BenchmarkRouteClosedM1(b *testing.B) {
+	p := placedDesign(b, tech.ClosedM1, 2000)
+	r := route.New(p, route.DefaultConfig(p.Tech, tech.ClosedM1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := r.RouteAll()
+		if m.RWL == 0 {
+			b.Fatal("no routing")
+		}
+	}
+}
+
+// BenchmarkSTA measures a timing/power analysis pass.
+func BenchmarkSTA(b *testing.B) {
+	p := placedDesign(b, tech.ClosedM1, 5000)
+	cfg := sta.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := sta.Analyze(p, cfg, nil)
+		if rep.TotalPowerMW <= 0 {
+			b.Fatal("bad report")
+		}
+	}
+}
+
+// BenchmarkDistOptPass measures one parallel window-optimization pass.
+func BenchmarkDistOptPass(b *testing.B) {
+	p := placedDesign(b, tech.ClosedM1, 800)
+	prm := core.DefaultParams(p.Tech, tech.ClosedM1)
+	prm.Workers = 8
+	ps := core.ParamSet{BW: expt.UmToDBU(20), BH: expt.UmToDBU(20), LX: 4, LY: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.DistOpt(p, prm, ps, 0, 0, true, false)
+	}
+}
+
+// BenchmarkLPSolve measures the simplex on a random dense-ish LP.
+func BenchmarkLPSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	m := lp.NewModel()
+	const nv, nr = 200, 120
+	vars := make([]int, nv)
+	for i := range vars {
+		vars[i] = m.AddVar(0, 10, rng.Float64()*2-1, "v")
+	}
+	for r := 0; r < nr; r++ {
+		terms := make([]lp.Term, 0, 6)
+		for k := 0; k < 6; k++ {
+			terms = append(terms, lp.Term{Var: vars[rng.Intn(nv)], Coef: float64(rng.Intn(9) - 4)})
+		}
+		m.AddRow(lp.LE, float64(rng.Intn(50)+10), terms...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol := m.Solve()
+		if sol.Status != lp.Optimal {
+			b.Fatalf("status %s", sol.Status)
+		}
+	}
+}
+
+// BenchmarkMILPKnapsack measures branch and bound on a 25-item knapsack.
+func BenchmarkMILPKnapsack(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	m := lp.NewModel()
+	mm := milp.NewModel(m)
+	var terms []lp.Term
+	for i := 0; i < 25; i++ {
+		v := m.AddVar(0, 1, -float64(1+rng.Intn(40)), "x")
+		terms = append(terms, lp.Term{Var: v, Coef: float64(1 + rng.Intn(12))})
+		mm.MarkInt(v)
+	}
+	m.AddRow(lp.LE, 60, terms...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := milp.Solve(mm, milp.Params{})
+		if res.Status != milp.Optimal {
+			b.Fatalf("status %s", res.Status)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Command vm1opt runs the full vertical-M1-aware detailed placement flow
+// on one design: generate (or load) → place → route → VM1Opt → reroute,
+// printing the before/after metric row of Table 2.
+//
+// Usage (synthetic design):
+//
+//	vm1opt -design aes -arch closedm1 -alpha 1200
+//	vm1opt -n 5000 -arch openm1 -seq "10:3:1,20:4:0"
+//
+// Usage (existing LEF/DEF):
+//
+//	vm1opt -lef lib.lef -def placed.def -arch closedm1 -out opt.def
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"vm1place/internal/core"
+	"vm1place/internal/expt"
+	"vm1place/internal/layout"
+	"vm1place/internal/lefdef"
+	"vm1place/internal/route"
+	"vm1place/internal/sta"
+	"vm1place/internal/tech"
+)
+
+func main() {
+	design := flag.String("design", "aes", "paper design name: m0|aes|jpeg|vga")
+	n := flag.Int("n", 0, "override instance count (0: paper count)")
+	scale := flag.Float64("scale", 1.0, "scale factor on the paper instance count")
+	archStr := flag.String("arch", "closedm1", "cell architecture: closedm1|openm1")
+	util := flag.Float64("util", 0.75, "placement utilization")
+	alpha := flag.Float64("alpha", -1, "alignment weight (negative: architecture default)")
+	seqStr := flag.String("seq", "", "U sequence 'bwUm:lx:ly,...' (default 20:4:1)")
+	workers := flag.Int("workers", 8, "parallel window solvers")
+	lefPath := flag.String("lef", "", "read library LEF (with -def)")
+	defPath := flag.String("def", "", "read placed DEF (with -lef)")
+	outPath := flag.String("out", "", "write optimized DEF to this path")
+	flag.Parse()
+
+	arch := tech.ClosedM1
+	if *archStr == "openm1" {
+		arch = tech.OpenM1
+	}
+
+	var seq core.Sequence
+	if *seqStr != "" {
+		var err error
+		seq, err = parseSeq(*seqStr)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := expt.FlowConfig{
+		Arch:     arch,
+		Util:     *util,
+		Sequence: seq,
+		Workers:  *workers,
+	}
+	if *alpha >= 0 {
+		cfg.Alpha = *alpha
+		cfg.AlphaSet = true
+	}
+
+	if *lefPath != "" || *defPath != "" {
+		if *lefPath == "" || *defPath == "" {
+			fatal(fmt.Errorf("-lef and -def must be given together"))
+		}
+		runOnDEF(*lefPath, *defPath, *outPath, cfg)
+		return
+	}
+
+	spec := specFor(*design, *n, *scale)
+	r := expt.RunFlow(spec, cfg)
+	expt.WriteTable2Row(os.Stdout, r)
+}
+
+func specFor(name string, n int, scale float64) expt.DesignSpec {
+	for _, d := range expt.PaperDesigns {
+		if d.Name == name {
+			if n > 0 {
+				d.NumInsts = n
+			} else if scale > 0 && scale != 1.0 {
+				d.NumInsts = int(float64(d.NumInsts) * scale)
+				if d.NumInsts < 200 {
+					d.NumInsts = 200
+				}
+			}
+			return d
+		}
+	}
+	fatal(fmt.Errorf("unknown design %q", name))
+	panic("unreachable")
+}
+
+// runOnDEF optimizes an externally supplied placement.
+func runOnDEF(lefPath, defPath, outPath string, cfg expt.FlowConfig) {
+	t := tech.Default()
+	lf, err := os.Open(lefPath)
+	if err != nil {
+		fatal(err)
+	}
+	lib, err := lefdef.ParseLEF(lf, t)
+	lf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	df, err := os.Open(defPath)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := lefdef.ParseDEF(df, t, lib)
+	df.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	prm := core.DefaultParams(t, cfg.Arch)
+	if cfg.AlphaSet {
+		prm.Alpha = cfg.Alpha
+	}
+	if cfg.Workers > 0 {
+		prm.Workers = cfg.Workers
+	}
+	seq := cfg.Sequence
+	if seq == nil {
+		seq = expt.DefaultSequence()
+	}
+
+	before := measure(p, cfg.Arch)
+	res := core.VM1Opt(p, prm, seq)
+	after := measure(p, cfg.Arch)
+	fmt.Printf("%s: dM1 %d -> %d, RWL %.1f -> %.1f um, HPWL %.1f -> %.1f um, WNS %.3f -> %.3f, opt %.1fs\n",
+		p.Design.Name, before.dm1, after.dm1,
+		float64(before.rwl)/1000, float64(after.rwl)/1000,
+		float64(before.hpwl)/1000, float64(after.hpwl)/1000,
+		before.wns, after.wns, res.Duration.Seconds())
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := lefdef.WriteDEF(f, p); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", outPath)
+	}
+}
+
+type quickMetrics struct {
+	dm1  int
+	rwl  int64
+	hpwl int64
+	wns  float64
+}
+
+func measure(p *layout.Placement, arch tech.Arch) quickMetrics {
+	r := route.New(p, route.DefaultConfig(p.Tech, arch))
+	m := r.RouteAll()
+	rep := sta.Analyze(p, sta.DefaultConfig(), nil)
+	return quickMetrics{dm1: m.DM1, rwl: m.RWL, hpwl: p.TotalHPWL(), wns: rep.WNS}
+}
+
+// parseSeq parses "20:4:1,10:3:0" into a core.Sequence.
+func parseSeq(s string) (core.Sequence, error) {
+	var out core.Sequence
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad sequence element %q (want bwUm:lx:ly)", part)
+		}
+		bw, err1 := strconv.ParseFloat(fields[0], 64)
+		lx, err2 := strconv.Atoi(fields[1])
+		ly, err3 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("bad sequence element %q", part)
+		}
+		out = append(out, core.ParamSet{
+			BW: expt.UmToDBU(bw), BH: expt.UmToDBU(bw), LX: lx, LY: ly,
+		})
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vm1opt:", err)
+	os.Exit(1)
+}

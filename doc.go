@@ -1,0 +1,20 @@
+// Package vm1place is a from-scratch Go reproduction of "Vertical M1
+// Routing-Aware Detailed Placement for Congestion and Wirelength Reduction
+// in Sub-10nm Nodes" (Debacker, Han, Kahng, Lee, Raghavan, Wang — DAC
+// 2017).
+//
+// The repository contains the paper's MILP-based detailed placement
+// optimizer (internal/core) together with every substrate the published
+// flow depends on, reimplemented in pure Go: a bounded-variable simplex LP
+// solver and branch-and-bound MILP engine (internal/lp, internal/milp,
+// replacing CPLEX), synthetic ClosedM1/OpenM1 7.5-track cell libraries
+// (internal/cells), a netlist generator (internal/netlist), a placement
+// database and legalizer (internal/layout, internal/place), a multi-layer
+// dM1-aware grid router with congestion modelling (internal/route), static
+// timing and power analysis (internal/sta), LEF/DEF I/O (internal/lefdef)
+// and an experiment harness regenerating every table and figure of the
+// paper's evaluation (internal/expt).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package vm1place

@@ -1,0 +1,3 @@
+module vm1place
+
+go 1.22

@@ -1,0 +1,276 @@
+// Package cells models sub-10nm standard-cell masters for the three
+// architectures of the DAC'17 paper (Figure 1): conventional 12-track,
+// ClosedM1 7.5-track (1-D vertical M1 pins at site pitch) and OpenM1
+// 7.5-track (horizontal M0 pins).
+//
+// Masters are geometry + a small timing/power model. Pin shapes are given
+// in cell-local DBU coordinates with the origin at the cell's lower-left
+// corner; Place* helpers produce absolute shapes for a placed, possibly
+// flipped instance. Flipping is the horizontal mirror (MY) used by the
+// paper's f_c degree of freedom.
+package cells
+
+import (
+	"fmt"
+
+	"vm1place/internal/geom"
+	"vm1place/internal/tech"
+)
+
+// PinDir classifies a pin's electrical direction.
+type PinDir int
+
+const (
+	Input PinDir = iota
+	Output
+	Power
+	Ground
+)
+
+// String implements fmt.Stringer.
+func (d PinDir) String() string {
+	switch d {
+	case Input:
+		return "INPUT"
+	case Output:
+		return "OUTPUT"
+	case Power:
+		return "POWER"
+	case Ground:
+		return "GROUND"
+	default:
+		return fmt.Sprintf("PinDir(%d)", int(d))
+	}
+}
+
+// Shape is one rectangle of pin metal on a given layer, in cell-local DBU.
+type Shape struct {
+	Layer tech.Layer
+	Rect  geom.Rect
+}
+
+// Pin is a logical pin of a master with its physical shapes.
+type Pin struct {
+	Name   string
+	Dir    PinDir
+	Shapes []Shape
+}
+
+// IsSignal reports whether the pin carries a signal (not power/ground).
+func (p *Pin) IsSignal() bool { return p.Dir == Input || p.Dir == Output }
+
+// AccessShape returns the shape the router and the MILP use for dM1
+// geometry: the M1 shape for ClosedM1 masters, the M0 shape for OpenM1
+// masters. It returns the first shape on the lowest pin layer.
+func (p *Pin) AccessShape() Shape {
+	best := p.Shapes[0]
+	for _, s := range p.Shapes[1:] {
+		if s.Layer < best.Layer {
+			best = s
+		}
+	}
+	return best
+}
+
+// Master is a standard-cell template.
+type Master struct {
+	Name       string
+	Arch       tech.Arch
+	WidthSites int
+	Pins       []Pin
+
+	// Timing/power model: delay(ns) = Intrinsic + DriveRes * loadCap;
+	// each input presents InputCap. LeakageUW is static power in µW.
+	Intrinsic float64
+	DriveRes  float64
+	InputCap  float64
+	LeakageUW float64
+
+	// IsFF marks sequential cells (timing start/end points).
+	IsFF bool
+}
+
+// WidthDBU returns the cell width in DBU for technology t.
+func (m *Master) WidthDBU(t *tech.Tech) int64 {
+	return int64(m.WidthSites) * t.SiteWidth
+}
+
+// Pin returns the named pin, or nil.
+func (m *Master) Pin(name string) *Pin {
+	for i := range m.Pins {
+		if m.Pins[i].Name == name {
+			return &m.Pins[i]
+		}
+	}
+	return nil
+}
+
+// SignalPins returns the signal (non-power) pins in declaration order.
+func (m *Master) SignalPins() []*Pin {
+	var out []*Pin
+	for i := range m.Pins {
+		if m.Pins[i].IsSignal() {
+			out = append(out, &m.Pins[i])
+		}
+	}
+	return out
+}
+
+// InputPins returns the input pins in declaration order.
+func (m *Master) InputPins() []*Pin {
+	var out []*Pin
+	for i := range m.Pins {
+		if m.Pins[i].Dir == Input {
+			out = append(out, &m.Pins[i])
+		}
+	}
+	return out
+}
+
+// OutputPin returns the (single) output pin, or nil for masters without
+// one.
+func (m *Master) OutputPin() *Pin {
+	for i := range m.Pins {
+		if m.Pins[i].Dir == Output {
+			return &m.Pins[i]
+		}
+	}
+	return nil
+}
+
+// FlipRect mirrors a cell-local rectangle about the cell's vertical center
+// line (MY orientation) for a master of width w DBU.
+func FlipRect(r geom.Rect, w int64) geom.Rect {
+	return geom.Rect{XLo: w - r.XHi, YLo: r.YLo, XHi: w - r.XLo, YHi: r.YHi}
+}
+
+// LocalShape returns the pin's access shape in cell-local coordinates for
+// the given orientation.
+func LocalShape(m *Master, t *tech.Tech, p *Pin, flipped bool) Shape {
+	s := p.AccessShape()
+	if flipped {
+		s.Rect = FlipRect(s.Rect, m.WidthDBU(t))
+	}
+	return s
+}
+
+// AbsShape returns the pin's access shape in absolute coordinates for an
+// instance of m placed with its lower-left corner at (x, y) with the given
+// orientation.
+func AbsShape(m *Master, t *tech.Tech, p *Pin, x, y int64, flipped bool) Shape {
+	s := LocalShape(m, t, p, flipped)
+	s.Rect = s.Rect.Shift(x, y)
+	return s
+}
+
+// AlignX returns the cell-local x coordinate used for ClosedM1 alignment:
+// the center of the pin's vertical M1 shape. Two pins are alignable when
+// their absolute AlignX values are equal (paper's d_pq for ClosedM1).
+func AlignX(m *Master, t *tech.Tech, p *Pin, flipped bool) int64 {
+	s := LocalShape(m, t, p, flipped)
+	return (s.Rect.XLo + s.Rect.XHi) / 2
+}
+
+// XExtent returns the cell-local x extent of the pin used for OpenM1
+// overlap (the paper's [x_min,p, x_max,p]).
+func XExtent(m *Master, t *tech.Tech, p *Pin, flipped bool) geom.Interval {
+	s := LocalShape(m, t, p, flipped)
+	return geom.Interval{Lo: s.Rect.XLo, Hi: s.Rect.XHi}
+}
+
+// PinY returns the cell-local y coordinate of the pin (paper's y_p),
+// taken as the vertical center of the access shape.
+func PinY(m *Master, t *tech.Tech, p *Pin) int64 {
+	s := p.AccessShape()
+	return (s.Rect.YLo + s.Rect.YHi) / 2
+}
+
+// Library is a set of masters sharing one technology and architecture.
+type Library struct {
+	Tech    *tech.Tech
+	Arch    tech.Arch
+	Masters []*Master
+	byName  map[string]*Master
+}
+
+// Master returns the named master, or nil.
+func (l *Library) Master(name string) *Master { return l.byName[name] }
+
+// MustMaster returns the named master or panics; for use in generators and
+// tests where the name is a compile-time constant.
+func (l *Library) MustMaster(name string) *Master {
+	m := l.byName[name]
+	if m == nil {
+		panic(fmt.Sprintf("cells: no master %q in %s library", name, l.Arch))
+	}
+	return m
+}
+
+// Validate checks the structural invariants the optimizer relies on.
+func (l *Library) Validate() error {
+	for _, m := range l.Masters {
+		if m.WidthSites <= 0 {
+			return fmt.Errorf("cells: master %s has non-positive width", m.Name)
+		}
+		w := m.WidthDBU(l.Tech)
+		nOut := 0
+		for i := range m.Pins {
+			p := &m.Pins[i]
+			if len(p.Shapes) == 0 {
+				return fmt.Errorf("cells: master %s pin %s has no shapes", m.Name, p.Name)
+			}
+			if p.Dir == Output {
+				nOut++
+			}
+			if !p.IsSignal() {
+				continue
+			}
+			s := p.AccessShape()
+			if s.Rect.XLo < 0 || s.Rect.XHi > w {
+				return fmt.Errorf("cells: master %s pin %s shape %v outside cell width %d",
+					m.Name, p.Name, s.Rect, w)
+			}
+			if s.Rect.YLo < 0 || s.Rect.YHi > l.Tech.RowHeight {
+				return fmt.Errorf("cells: master %s pin %s shape %v outside row height",
+					m.Name, p.Name, s.Rect)
+			}
+			switch l.Arch {
+			case tech.ClosedM1:
+				if s.Layer != tech.M1 {
+					return fmt.Errorf("cells: ClosedM1 master %s pin %s access layer %s, want M1",
+						m.Name, p.Name, s.Layer)
+				}
+				// 1-D vertical pins centered on the site-pitch track grid.
+				cx := (s.Rect.XLo + s.Rect.XHi) / 2
+				if (cx-l.Tech.SiteWidth/2)%l.Tech.SiteWidth != 0 {
+					return fmt.Errorf("cells: ClosedM1 master %s pin %s center %d off track grid",
+						m.Name, p.Name, cx)
+				}
+			case tech.OpenM1:
+				if s.Layer != tech.M0 {
+					return fmt.Errorf("cells: OpenM1 master %s pin %s access layer %s, want M0",
+						m.Name, p.Name, s.Layer)
+				}
+				if s.Rect.W() < l.Tech.Delta {
+					return fmt.Errorf("cells: OpenM1 master %s pin %s width %d below delta %d",
+						m.Name, p.Name, s.Rect.W(), l.Tech.Delta)
+				}
+			}
+		}
+		if nOut > 1 {
+			return fmt.Errorf("cells: master %s has %d output pins", m.Name, nOut)
+		}
+	}
+	return nil
+}
+
+// NewLibraryFromMasters assembles a Library from externally constructed
+// masters (e.g. parsed from LEF) and builds the lookup index. The caller
+// is responsible for calling Validate if strict invariants are required.
+func NewLibraryFromMasters(t *tech.Tech, arch tech.Arch, masters []*Master) *Library {
+	lib := &Library{Tech: t, Arch: arch, Masters: masters, byName: make(map[string]*Master)}
+	for _, m := range masters {
+		lib.byName[m.Name] = m
+	}
+	return lib
+}

@@ -1,0 +1,212 @@
+package cells
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vm1place/internal/geom"
+	"vm1place/internal/tech"
+)
+
+func TestLibrariesValidate(t *testing.T) {
+	tc := tech.Default()
+	for _, arch := range []tech.Arch{tech.Conventional, tech.ClosedM1, tech.OpenM1} {
+		lib := NewLibrary(tc, arch)
+		if err := lib.Validate(); err != nil {
+			t.Errorf("%s library invalid: %v", arch, err)
+		}
+		if len(lib.Masters) != len(specs) {
+			t.Errorf("%s library has %d masters, want %d", arch, len(lib.Masters), len(specs))
+		}
+	}
+}
+
+func TestMasterLookup(t *testing.T) {
+	lib := NewLibrary(tech.Default(), tech.ClosedM1)
+	if lib.Master("INV_X1") == nil {
+		t.Fatal("INV_X1 missing")
+	}
+	if lib.Master("NOPE") != nil {
+		t.Fatal("unexpected master")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMaster should panic on unknown name")
+		}
+	}()
+	lib.MustMaster("NOPE")
+}
+
+func TestPinClassification(t *testing.T) {
+	lib := NewLibrary(tech.Default(), tech.ClosedM1)
+	nand := lib.MustMaster("NAND2_X1")
+	if got := len(nand.SignalPins()); got != 3 {
+		t.Errorf("NAND2 signal pins = %d, want 3", got)
+	}
+	if got := len(nand.InputPins()); got != 2 {
+		t.Errorf("NAND2 input pins = %d, want 2", got)
+	}
+	out := nand.OutputPin()
+	if out == nil || out.Name != "ZN" {
+		t.Errorf("NAND2 output pin = %v", out)
+	}
+	if nand.Pin("VDD").IsSignal() {
+		t.Error("VDD must not be a signal pin")
+	}
+	if nand.Pin("A1") == nil || nand.Pin("nope") != nil {
+		t.Error("Pin lookup broken")
+	}
+}
+
+func TestClosedM1PinsOnTrackGrid(t *testing.T) {
+	tc := tech.Default()
+	lib := NewLibrary(tc, tech.ClosedM1)
+	for _, m := range lib.Masters {
+		for _, p := range m.SignalPins() {
+			for _, flipped := range []bool{false, true} {
+				cx := AlignX(m, tc, p, flipped)
+				if (cx-tc.SiteWidth/2)%tc.SiteWidth != 0 {
+					t.Errorf("%s.%s flipped=%v center %d off track grid",
+						m.Name, p.Name, flipped, cx)
+				}
+				if cx < 0 || cx > m.WidthDBU(tc) {
+					t.Errorf("%s.%s flipped=%v center %d outside cell",
+						m.Name, p.Name, flipped, cx)
+				}
+			}
+		}
+	}
+}
+
+func TestClosedM1PinTracksDistinct(t *testing.T) {
+	tc := tech.Default()
+	lib := NewLibrary(tc, tech.ClosedM1)
+	for _, m := range lib.Masters {
+		seen := map[int64]string{}
+		for _, p := range m.SignalPins() {
+			cx := AlignX(m, tc, p, false)
+			if prev, dup := seen[cx]; dup {
+				t.Errorf("%s: pins %s and %s share track x=%d", m.Name, prev, p.Name, cx)
+			}
+			seen[cx] = p.Name
+		}
+	}
+}
+
+func TestOpenM1PinExtents(t *testing.T) {
+	tc := tech.Default()
+	lib := NewLibrary(tc, tech.OpenM1)
+	for _, m := range lib.Masters {
+		for _, p := range m.SignalPins() {
+			ext := XExtent(m, tc, p, false)
+			if ext.Len() < tc.Delta {
+				t.Errorf("%s.%s extent %v shorter than delta %d", m.Name, p.Name, ext, tc.Delta)
+			}
+			if p.AccessShape().Layer != tech.M0 {
+				t.Errorf("%s.%s access layer = %s, want M0", m.Name, p.Name, p.AccessShape().Layer)
+			}
+		}
+	}
+}
+
+func TestFlipRect(t *testing.T) {
+	r := geom.Rect{XLo: 10, YLo: 5, XHi: 30, YHi: 20}
+	f := FlipRect(r, 100)
+	if f != (geom.Rect{XLo: 70, YLo: 5, XHi: 90, YHi: 20}) {
+		t.Errorf("FlipRect = %v", f)
+	}
+	// Double flip is identity.
+	if FlipRect(f, 100) != r {
+		t.Error("double flip not identity")
+	}
+}
+
+// Property: flipping preserves pin shape width and keeps it inside the
+// cell; AlignX of the flip mirrors about the cell center.
+func TestFlipInvariantsQuick(t *testing.T) {
+	tc := tech.Default()
+	lib := NewLibrary(tc, tech.ClosedM1)
+	f := func(mi uint8, pi uint8) bool {
+		m := lib.Masters[int(mi)%len(lib.Masters)]
+		sp := m.SignalPins()
+		p := sp[int(pi)%len(sp)]
+		w := m.WidthDBU(tc)
+		a := AlignX(m, tc, p, false)
+		b := AlignX(m, tc, p, true)
+		if a+b != w {
+			return false
+		}
+		e0 := XExtent(m, tc, p, false)
+		e1 := XExtent(m, tc, p, true)
+		return e0.Len() == e1.Len() && e1.Lo >= 0 && e1.Hi <= w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbsShape(t *testing.T) {
+	tc := tech.Default()
+	lib := NewLibrary(tc, tech.ClosedM1)
+	inv := lib.MustMaster("INV_X1")
+	a := inv.Pin("A")
+	s := AbsShape(inv, tc, a, 1000, 500, false)
+	local := LocalShape(inv, tc, a, false)
+	if s.Rect != local.Rect.Shift(1000, 500) {
+		t.Errorf("AbsShape = %v", s.Rect)
+	}
+	if s.Layer != tech.M1 {
+		t.Errorf("AbsShape layer = %s", s.Layer)
+	}
+}
+
+func TestPinYWithinRow(t *testing.T) {
+	tc := tech.Default()
+	for _, arch := range []tech.Arch{tech.ClosedM1, tech.OpenM1} {
+		lib := NewLibrary(tc, arch)
+		for _, m := range lib.Masters {
+			for _, p := range m.SignalPins() {
+				y := PinY(m, tc, p)
+				if y < 0 || y > tc.RowHeight {
+					t.Errorf("%s/%s.%s PinY %d outside row", arch, m.Name, p.Name, y)
+				}
+			}
+		}
+	}
+}
+
+func TestTimingModelSane(t *testing.T) {
+	lib := NewLibrary(tech.Default(), tech.ClosedM1)
+	for _, m := range lib.Masters {
+		if m.Intrinsic <= 0 || m.DriveRes <= 0 || m.InputCap <= 0 || m.LeakageUW <= 0 {
+			t.Errorf("%s has non-positive timing/power parameters", m.Name)
+		}
+	}
+	if !lib.MustMaster("DFF_X1").IsFF {
+		t.Error("DFF_X1 must be sequential")
+	}
+	if lib.MustMaster("INV_X1").IsFF {
+		t.Error("INV_X1 must not be sequential")
+	}
+}
+
+func TestConventionalArchPins(t *testing.T) {
+	tc := tech.Default()
+	lib := NewLibrary(tc, tech.Conventional)
+	inv := lib.MustMaster("INV_X1")
+	for _, p := range inv.SignalPins() {
+		if p.AccessShape().Layer != tech.M1 {
+			t.Errorf("conventional pin %s on %s, want M1", p.Name, p.AccessShape().Layer)
+		}
+	}
+}
+
+func TestPinDirString(t *testing.T) {
+	if Input.String() != "INPUT" || Output.String() != "OUTPUT" ||
+		Power.String() != "POWER" || Ground.String() != "GROUND" {
+		t.Error("PinDir strings broken")
+	}
+	if PinDir(9).String() != "PinDir(9)" {
+		t.Error("unknown PinDir string broken")
+	}
+}

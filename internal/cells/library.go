@@ -1,0 +1,152 @@
+package cells
+
+import (
+	"fmt"
+
+	"vm1place/internal/geom"
+	"vm1place/internal/tech"
+)
+
+// masterSpec is the architecture-independent description of one cell
+// template; pin geometry is synthesized per architecture by NewLibrary.
+type masterSpec struct {
+	name      string
+	width     int // sites
+	inputs    []string
+	output    string
+	intrinsic float64 // ns
+	driveRes  float64 // ns per cap unit
+	inputCap  float64 // cap units
+	leakage   float64 // µW
+	isFF      bool
+}
+
+// specs is the synthetic triple-Vt-equivalent cell set. Widths and pin
+// counts follow typical 7.5-track libraries; delay numbers are plausible
+// 7nm-scale values (the experiments only consume their relative order).
+var specs = []masterSpec{
+	{"INV_X1", 2, []string{"A"}, "ZN", 0.010, 0.0040, 1.0, 0.5, false},
+	{"INV_X2", 3, []string{"A"}, "ZN", 0.010, 0.0022, 1.8, 0.9, false},
+	{"BUF_X1", 3, []string{"A"}, "Z", 0.022, 0.0040, 1.0, 0.7, false},
+	{"BUF_X2", 4, []string{"A"}, "Z", 0.024, 0.0020, 1.6, 1.2, false},
+	{"NAND2_X1", 3, []string{"A1", "A2"}, "ZN", 0.014, 0.0048, 1.1, 0.8, false},
+	{"NOR2_X1", 3, []string{"A1", "A2"}, "ZN", 0.016, 0.0052, 1.1, 0.8, false},
+	{"AND2_X1", 4, []string{"A1", "A2"}, "Z", 0.026, 0.0044, 1.0, 1.0, false},
+	{"OR2_X1", 4, []string{"A1", "A2"}, "Z", 0.028, 0.0046, 1.0, 1.0, false},
+	{"NAND3_X1", 4, []string{"A1", "A2", "A3"}, "ZN", 0.018, 0.0054, 1.2, 1.1, false},
+	{"XOR2_X1", 5, []string{"A", "B"}, "Z", 0.034, 0.0050, 1.4, 1.5, false},
+	{"XNOR2_X1", 5, []string{"A", "B"}, "ZN", 0.034, 0.0050, 1.4, 1.5, false},
+	{"AOI21_X1", 4, []string{"A", "B1", "B2"}, "ZN", 0.020, 0.0056, 1.2, 1.0, false},
+	{"OAI21_X1", 4, []string{"A", "B1", "B2"}, "ZN", 0.021, 0.0056, 1.2, 1.0, false},
+	{"MUX2_X1", 6, []string{"I0", "I1", "S"}, "Z", 0.038, 0.0052, 1.3, 1.8, false},
+	{"DFF_X1", 8, []string{"D", "CK"}, "Q", 0.060, 0.0045, 1.5, 3.0, true},
+}
+
+// NewLibrary synthesizes the full cell set for the given architecture.
+// The returned library always validates.
+func NewLibrary(t *tech.Tech, arch tech.Arch) *Library {
+	lib := &Library{Tech: t, Arch: arch, byName: make(map[string]*Master)}
+	for _, sp := range specs {
+		m := buildMaster(t, arch, sp)
+		lib.Masters = append(lib.Masters, m)
+		lib.byName[m.Name] = m
+	}
+	if err := lib.Validate(); err != nil {
+		panic(fmt.Sprintf("cells: synthesized library invalid: %v", err))
+	}
+	return lib
+}
+
+func buildMaster(t *tech.Tech, arch tech.Arch, sp masterSpec) *Master {
+	m := &Master{
+		Name:       sp.name,
+		Arch:       arch,
+		WidthSites: sp.width,
+		Intrinsic:  sp.intrinsic,
+		DriveRes:   sp.driveRes,
+		InputCap:   sp.inputCap,
+		LeakageUW:  sp.leakage,
+		IsFF:       sp.isFF,
+	}
+	w := m.WidthDBU(t)
+	switch arch {
+	case tech.ClosedM1:
+		// 1-D vertical M1 pins on the site-pitch track grid (Fig. 1(b)).
+		// Inputs occupy tracks 0..k-1; the output takes the last track.
+		for i, name := range sp.inputs {
+			m.Pins = append(m.Pins, Pin{Name: name, Dir: Input,
+				Shapes: []Shape{closedPinShape(t, i)}})
+		}
+		m.Pins = append(m.Pins, Pin{Name: sp.output, Dir: Output,
+			Shapes: []Shape{closedPinShape(t, sp.width-1)}})
+		// Boundary VDD/VSS vertical M1 stubs connected to M2 rails via
+		// V12; they do not block inter-row M1 routing (paper §1.1).
+		m.Pins = append(m.Pins,
+			Pin{Name: "VDD", Dir: Power, Shapes: []Shape{{
+				Layer: tech.M1, Rect: geom.Rect{XLo: 0, YLo: t.RowHeight - 40, XHi: 20, YHi: t.RowHeight}}}},
+			Pin{Name: "VSS", Dir: Ground, Shapes: []Shape{{
+				Layer: tech.M1, Rect: geom.Rect{XLo: w - 20, YLo: 0, XHi: w, YHi: 40}}}},
+		)
+	case tech.OpenM1:
+		// Horizontal M0 pin segments (Fig. 1(c)); M1 above is open.
+		for i, name := range sp.inputs {
+			m.Pins = append(m.Pins, Pin{Name: name, Dir: Input,
+				Shapes: []Shape{openPinShape(t, w, i, false)}})
+		}
+		m.Pins = append(m.Pins, Pin{Name: sp.output, Dir: Output,
+			Shapes: []Shape{openPinShape(t, w, len(sp.inputs), true)}})
+		m.Pins = append(m.Pins,
+			Pin{Name: "VDD", Dir: Power, Shapes: []Shape{{
+				Layer: tech.M0, Rect: geom.Rect{XLo: 0, YLo: t.RowHeight - 20, XHi: w, YHi: t.RowHeight}}}},
+			Pin{Name: "VSS", Dir: Ground, Shapes: []Shape{{
+				Layer: tech.M0, Rect: geom.Rect{XLo: 0, YLo: 0, XHi: w, YHi: 20}}}},
+		)
+	default: // Conventional 12-track: horizontal M1 pins, M1 power rails.
+		for i, name := range sp.inputs {
+			s := openPinShape(t, w, i, false)
+			s.Layer = tech.M1
+			m.Pins = append(m.Pins, Pin{Name: name, Dir: Input, Shapes: []Shape{s}})
+		}
+		s := openPinShape(t, w, len(sp.inputs), true)
+		s.Layer = tech.M1
+		m.Pins = append(m.Pins, Pin{Name: sp.output, Dir: Output, Shapes: []Shape{s}})
+		m.Pins = append(m.Pins,
+			Pin{Name: "VDD", Dir: Power, Shapes: []Shape{{
+				Layer: tech.M1, Rect: geom.Rect{XLo: 0, YLo: t.RowHeight - 30, XHi: w, YHi: t.RowHeight}}}},
+			Pin{Name: "VSS", Dir: Ground, Shapes: []Shape{{
+				Layer: tech.M1, Rect: geom.Rect{XLo: 0, YLo: 0, XHi: w, YHi: 30}}}},
+		)
+	}
+	return m
+}
+
+// closedPinShape returns a vertical M1 pin centered on site track k.
+func closedPinShape(t *tech.Tech, k int) Shape {
+	cx := int64(k)*t.SiteWidth + t.SiteWidth/2
+	return Shape{
+		Layer: tech.M1,
+		Rect:  geom.Rect{XLo: cx - 10, YLo: 50, XHi: cx + 10, YHi: t.RowHeight - 50},
+	}
+}
+
+// openPinShape returns a horizontal M0 pin starting near site track k.
+// Output pins are longer and sit on a dedicated upper M0 track, modelling
+// the larger output metal of real OpenM1 cells.
+func openPinShape(t *tech.Tech, w int64, k int, output bool) Shape {
+	if output {
+		xhi := w - 10
+		xlo := xhi - 180
+		if xlo < 10 {
+			xlo = 10
+		}
+		return Shape{Layer: tech.M0, Rect: geom.Rect{XLo: xlo, YLo: 190, XHi: xhi, YHi: 210}}
+	}
+	xlo := int64(k)*t.SiteWidth + 10
+	xhi := xlo + 140
+	if xhi > w-10 {
+		xhi = w - 10
+	}
+	yTracks := []int64{60, 110, 160}
+	y := yTracks[k%len(yTracks)]
+	return Shape{Layer: tech.M0, Rect: geom.Rect{XLo: xlo, YLo: y - 10, XHi: xhi, YHi: y + 10}}
+}

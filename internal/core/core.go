@@ -1,0 +1,233 @@
+// Package core implements the paper's contribution: vertical M1
+// routing-aware detailed placement by MILP (DAC'17, Debacker et al.).
+//
+// The optimizer perturbs a legal placement inside small windows, minimizing
+// a weighted combination of HPWL and the (negated) number of inter-row pin
+// alignments (ClosedM1) or pin overlaps (OpenM1) that enable direct
+// vertical M1 routing. Each window is an exact MILP over single-cell-
+// placement (SCP) candidate variables (Section 3 of the paper); windows
+// with disjoint x/y projections are solved in parallel (Section 4,
+// Figures 3-4); and a metaheuristic outer loop sweeps a sequence of window
+// size / perturbation-range parameter sets until the objective converges
+// (Algorithm 1).
+package core
+
+import (
+	"time"
+
+	"vm1place/internal/cells"
+	"vm1place/internal/geom"
+	"vm1place/internal/layout"
+	"vm1place/internal/netlist"
+	"vm1place/internal/tech"
+)
+
+// Params configures the optimizer.
+type Params struct {
+	// Arch selects the MILP formulation (ClosedM1 alignment or OpenM1
+	// overlap). Conventional designs have nothing to optimize.
+	Arch tech.Arch
+	// Alpha weighs one alignment/overlap against HPWL DBU (the paper's α).
+	Alpha float64
+	// Beta weighs net HPWL (the paper's βn, uniform; the paper uses 1).
+	Beta float64
+	// NetBeta, when non-nil, holds per-net multipliers on Beta (indexed
+	// like Design.Nets). This implements the paper's future-work item of
+	// folding timing criticality into the objective: critical nets get
+	// βn > 1 so the optimizer resists stretching them. Nets beyond the
+	// slice bounds or with non-positive entries use 1.
+	NetBeta []float64
+	// PinDensityWeight, when positive, adds a per-candidate penalty
+	// proportional to the signal-pin count already present in the
+	// candidate's site columns (computed from the window snapshot). This
+	// is the paper's future-work pin-density criterion: it steers cells
+	// away from pin-crowded columns that throttle pin access.
+	PinDensityWeight float64
+	// Epsilon weighs total overlap length for OpenM1 (the paper's ε).
+	Epsilon float64
+	// GammaRows is the maximum dM1 span in rows (the paper's γ, OpenM1
+	// Constraint (12)).
+	GammaRows int
+	// AlignGammaRows is the alignment window for pair eligibility in the
+	// MILP and objective. The paper's ClosedM1 Constraint (4) uses one row
+	// height (adjacent rows) — alignments farther apart are rarely
+	// routable because intervening cells' M1 pins block the track — while
+	// OpenM1 uses γ. DefaultParams sets 1 and γ respectively.
+	AlignGammaRows int
+	// DeltaDBU is the minimum OpenM1 overlap length (the paper's δ).
+	DeltaDBU int64
+	// Theta is the relative objective-improvement threshold that ends the
+	// inner loop of Algorithm 1 (the paper uses 1%).
+	Theta float64
+	// MaxNodes and TimeLimit bound each window MILP (the CPLEX budget
+	// equivalent).
+	MaxNodes  int
+	TimeLimit time.Duration
+	// Workers is the parallel window solver count (the paper uses 8
+	// threads).
+	Workers int
+	// MaxMILPCells is the largest window (movable cells) solved exactly;
+	// larger windows use the greedy coordinate-descent fallback (0: 100).
+	MaxMILPCells int
+	// MaxOuterIters caps Algorithm 1 inner iterations per parameter set
+	// (0: until convergence). ExptA-1 uses 1.
+	MaxOuterIters int
+}
+
+// DefaultParams returns paper-faithful defaults for an architecture.
+func DefaultParams(t *tech.Tech, arch tech.Arch) Params {
+	alpha := 1200.0
+	alignGamma := 1
+	if arch == tech.OpenM1 {
+		alpha = 1000.0
+		alignGamma = t.Gamma
+	}
+	return Params{
+		Arch:           arch,
+		Alpha:          alpha,
+		Beta:           1.0,
+		Epsilon:        0.02,
+		GammaRows:      t.Gamma,
+		AlignGammaRows: alignGamma,
+		DeltaDBU:       t.Delta,
+		Theta:          0.01,
+		MaxNodes:       200,
+		TimeLimit:      800 * time.Millisecond,
+		Workers:        8,
+		MaxMILPCells:   100,
+	}
+}
+
+// ParamSet is one entry of the metaheuristic sequence U: window size (DBU)
+// and perturbation range (sites/rows). The paper writes these as
+// (bw=bh in µm, lx, ly); the experiment harness converts µm to DBU.
+type ParamSet struct {
+	BW, BH int64 // window width/height in DBU
+	LX     int   // max |Δx| in sites
+	LY     int   // max |Δy| in rows
+}
+
+// Sequence is the queue U of Algorithm 1.
+type Sequence []ParamSet
+
+// Objective is the paper's optimization objective evaluated on a placement:
+// Σ βn·HPWL(n) − α·#alignments (− ε·Σ overlap surplus for OpenM1).
+type Objective struct {
+	HPWL int64
+	// Alignments counts pin pairs eligible for direct vertical M1 routing
+	// (aligned for ClosedM1, overlapping >= δ for OpenM1, within γ rows).
+	Alignments int
+	// OverlapSum is Σ max(0, overlap − δ) over counted pairs (OpenM1).
+	OverlapSum int64
+	// Value is the scalarized objective.
+	Value float64
+}
+
+// pinRef caches the geometry of one net terminal used in pair tests.
+type pinRef struct {
+	inst   int
+	alignX int64         // absolute ClosedM1 track x
+	ext    geom.Interval // absolute OpenM1 x extent
+	row    int
+	y      int64 // absolute pin y center
+}
+
+// terminalRef builds the cached geometry for an instance pin.
+func terminalRef(p *layout.Placement, c netlist.Conn) pinRef {
+	inst := &p.Design.Insts[c.Inst]
+	pin := &inst.Master.Pins[c.Pin]
+	x := p.InstX(c.Inst)
+	flip := p.Flip[c.Inst]
+	ext := cells.XExtent(inst.Master, p.Tech, pin, flip)
+	return pinRef{
+		inst:   c.Inst,
+		alignX: x + cells.AlignX(inst.Master, p.Tech, pin, flip),
+		ext:    geom.Interval{Lo: x + ext.Lo, Hi: x + ext.Hi},
+		row:    p.Row[c.Inst],
+		y:      p.InstY(c.Inst) + cells.PinY(inst.Master, p.Tech, pin),
+	}
+}
+
+// netTerminals collects the signal-pin terminals of a net (ports are not
+// M1-accessible pins and never participate in pairs).
+func netTerminals(p *layout.Placement, ni int) []pinRef {
+	n := &p.Design.Nets[ni]
+	out := make([]pinRef, 0, n.NumConns())
+	n.ForEachConn(func(c netlist.Conn) {
+		out = append(out, terminalRef(p, c))
+	})
+	return out
+}
+
+// pairEnablesDM1 reports whether two terminals enable a direct vertical M1
+// route under the current placement, plus the overlap surplus (OpenM1).
+func pairEnablesDM1(prm Params, a, b pinRef) (bool, int64) {
+	dr := a.row - b.row
+	if dr < 0 {
+		dr = -dr
+	}
+	if dr > prm.alignGamma() {
+		return false, 0
+	}
+	switch prm.Arch {
+	case tech.ClosedM1:
+		return a.alignX == b.alignX, 0
+	case tech.OpenM1:
+		over := a.ext.OverlapLen(b.ext)
+		if over >= prm.DeltaDBU {
+			return true, over - prm.DeltaDBU
+		}
+		return false, 0
+	default:
+		return false, 0
+	}
+}
+
+// betaOf returns the effective βn for a net.
+func (prm Params) betaOf(ni int) float64 {
+	b := prm.Beta
+	if ni < len(prm.NetBeta) && prm.NetBeta[ni] > 0 {
+		b *= prm.NetBeta[ni]
+	}
+	return b
+}
+
+// alignGamma returns the pair-eligibility row window.
+func (prm Params) alignGamma() int {
+	if prm.AlignGammaRows > 0 {
+		return prm.AlignGammaRows
+	}
+	if prm.Arch == tech.OpenM1 {
+		return prm.GammaRows
+	}
+	return 1
+}
+
+// CalculateObj evaluates the global objective of a placement (Algorithm 2's
+// CalculateObj).
+func CalculateObj(p *layout.Placement, prm Params) Objective {
+	var obj Objective
+	obj.HPWL = p.TotalHPWL()
+	var weighted float64
+	for ni := range p.Design.Nets {
+		if p.Design.Nets[ni].IsClock {
+			continue
+		}
+		weighted += prm.betaOf(ni) * float64(p.NetHPWL(ni))
+		terms := netTerminals(p, ni)
+		for i := 0; i < len(terms); i++ {
+			for j := i + 1; j < len(terms); j++ {
+				if terms[i].inst == terms[j].inst {
+					continue
+				}
+				if ok, over := pairEnablesDM1(prm, terms[i], terms[j]); ok {
+					obj.Alignments++
+					obj.OverlapSum += over
+				}
+			}
+		}
+	}
+	obj.Value = weighted - prm.Alpha*float64(obj.Alignments) -
+		prm.Epsilon*float64(obj.OverlapSum)
+	return obj
+}

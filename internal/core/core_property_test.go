@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"vm1place/internal/cells"
+	"vm1place/internal/layout"
+	"vm1place/internal/tech"
+)
+
+// TestWindowObjectiveMatchesGlobalDelta: for a single whole-die window,
+// the window objective delta between two assignments equals the global
+// CalculateObj delta (no fixed-terminal approximation error is possible).
+func TestWindowObjectiveMatchesGlobalDelta(t *testing.T) {
+	p := genPlaced(t, tech.ClosedM1, 120, 61, 0.6)
+	prm := DefaultParams(p.Tech, tech.ClosedM1)
+	ps := ParamSet{BW: p.DieWidth(), BH: p.DieHeight(), LX: 2, LY: 1}
+	all := make([]int, len(p.Design.Insts))
+	for i := range all {
+		all[i] = i
+	}
+	w := buildWindow(p, prm, p.DieRect(), ps, all, true, false)
+	if len(w.movable) != len(p.Design.Insts) {
+		t.Fatalf("whole-die window must hold every cell (%d vs %d)",
+			len(w.movable), len(p.Design.Insts))
+	}
+
+	globalOf := func(assign []int) float64 {
+		q := p.Clone()
+		for ci, inst := range w.movable {
+			cd := w.cand[ci][assign[ci]]
+			q.SetLoc(inst, cd.site, cd.row, cd.flip)
+		}
+		return CalculateObj(q, prm).Value
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	base := append([]int(nil), w.curCand...)
+	for trial := 0; trial < 20; trial++ {
+		alt := append([]int(nil), base...)
+		// Random feasible single-cell change.
+		ci := rng.Intn(len(w.movable))
+		alt[ci] = rng.Intn(len(w.cand[ci]))
+		if !w.feasibleAssign(alt) {
+			continue
+		}
+		dWin := w.objective(alt) - w.objective(base)
+		dGlobal := globalOf(alt) - globalOf(base)
+		if diff := dWin - dGlobal; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("trial %d: window delta %f != global delta %f", trial, dWin, dGlobal)
+		}
+	}
+}
+
+// TestRepairAlwaysFeasible: the rounder's repair produces occupancy-free
+// assignments from arbitrary fractional starting points.
+func TestRepairAlwaysFeasible(t *testing.T) {
+	p := genPlaced(t, tech.ClosedM1, 300, 62, 0.8)
+	prm := DefaultParams(p.Tech, tech.ClosedM1)
+	ps := ParamSet{BW: 2000, BH: 2000, LX: 3, LY: 1}
+	rects, nwx, nwy := partition(p, ps, 0, 0)
+	buckets := bucketInsts(p, ps, 0, 0, nwx, nwy)
+	rng := rand.New(rand.NewSource(8))
+	for wi, rect := range rects {
+		w := buildWindow(p, prm, rect, ps, buckets[wi], true, false)
+		if len(w.movable) == 0 {
+			continue
+		}
+		m, _, lambda, _ := w.buildModel()
+		for trial := 0; trial < 5; trial++ {
+			// Random fractional x and a random (possibly conflicting)
+			// assignment decoded from it.
+			x := make([]float64, m.NumVars())
+			assign := make([]int, len(w.movable))
+			for ci := range w.movable {
+				assign[ci] = rng.Intn(len(w.cand[ci]))
+				for k := range w.cand[ci] {
+					x[lambda[ci][k]] = rng.Float64()
+				}
+			}
+			if w.repair(assign, x, lambda) {
+				if !w.feasibleAssign(assign) {
+					t.Fatalf("window %d: repair returned infeasible assignment", wi)
+				}
+			}
+		}
+	}
+}
+
+// TestJointModePreservesLegality: the joint move+flip ablation variant
+// keeps placements legal and does not worsen the objective.
+func TestJointModePreservesLegality(t *testing.T) {
+	p := genPlaced(t, tech.ClosedM1, 400, 63, 0.75)
+	prm := DefaultParams(p.Tech, tech.ClosedM1)
+	prm.MaxNodes = 60
+	prm.MaxOuterIters = 1
+	res := VM1OptJoint(p, prm, Sequence{{BW: 2000, BH: 2000, LX: 2, LY: 1}})
+	if err := p.CheckLegal(); err != nil {
+		t.Fatalf("illegal after joint VM1Opt: %v", err)
+	}
+	if res.Final.Value > res.Initial.Value {
+		t.Errorf("joint mode worsened objective: %f -> %f",
+			res.Initial.Value, res.Final.Value)
+	}
+}
+
+// TestOpenM1OverlapSumNonNegative: the overlap surplus accounting never
+// goes negative under optimization.
+func TestOpenM1OverlapSumNonNegative(t *testing.T) {
+	p := genPlaced(t, tech.OpenM1, 300, 64, 0.75)
+	prm := DefaultParams(p.Tech, tech.OpenM1)
+	prm.MaxNodes = 40
+	prm.MaxOuterIters = 1
+	res := VM1Opt(p, prm, Sequence{{BW: 2000, BH: 2000, LX: 2, LY: 1}})
+	if res.Initial.OverlapSum < 0 || res.Final.OverlapSum < 0 {
+		t.Errorf("negative overlap sum: %+v", res)
+	}
+	for _, h := range res.History {
+		if h.OverlapSum < 0 {
+			t.Errorf("negative overlap sum in history: %+v", h)
+		}
+	}
+}
+
+// TestParamsAlignGamma: the architecture-dependent defaulting of the
+// alignment window (paper Constraint 4 vs 12).
+func TestParamsAlignGamma(t *testing.T) {
+	tc := tech.Default()
+	closed := DefaultParams(tc, tech.ClosedM1)
+	open := DefaultParams(tc, tech.OpenM1)
+	if closed.alignGamma() != 1 {
+		t.Errorf("ClosedM1 align window = %d, want 1", closed.alignGamma())
+	}
+	if open.alignGamma() != tc.Gamma {
+		t.Errorf("OpenM1 align window = %d, want %d", open.alignGamma(), tc.Gamma)
+	}
+	var zero Params
+	zero.Arch = tech.OpenM1
+	zero.GammaRows = 2
+	if zero.alignGamma() != 2 {
+		t.Errorf("zero-value OpenM1 align window = %d, want 2", zero.alignGamma())
+	}
+}
+
+// TestPinDensityCandidateCosts: with a positive weight, candidates that
+// land in pin-crowded columns cost more than candidates in empty columns,
+// and staying put is not penalized by the cell's own pins.
+func TestPinDensityCandidateCosts(t *testing.T) {
+	tc := tech.Default()
+	lib := cells.NewLibrary(tc, tech.ClosedM1)
+	m := newManual(lib)
+	u0 := m.addInst("INV_X1") // the cell under test
+	u1 := m.addInst("INV_X1") // crowd
+	u2 := m.addInst("INV_X1") // crowd
+	m.connect(u0, "ZN", [2]interface{}{u1, "A"})
+	m.connect(u1, "ZN", [2]interface{}{u2, "A"})
+	m.tieOff()
+	p := layout.NewFloorplan(tc, m.d, 0.05)
+	p.SpreadEven()
+	// u0 alone at the left of row 0; u1/u2 stacked near site 6.
+	p.SetLoc(u0, 0, 0, false)
+	p.SetLoc(u1, 6, 1, false)
+	p.SetLoc(u2, 6, 2, false)
+
+	prm := DefaultParams(tc, tech.ClosedM1)
+	prm.PinDensityWeight = 10
+	ps := ParamSet{BW: p.DieWidth(), BH: p.DieHeight(), LX: 6, LY: 0}
+	w := buildWindow(p, prm, p.DieRect(), ps, []int{u0, u1, u2}, true, false)
+
+	ci := w.cellOf(u0)
+	if ci < 0 {
+		t.Fatal("u0 not movable")
+	}
+	var costAt0, costAt6 float64
+	found0, found6 := false, false
+	for k, cd := range w.cand[ci] {
+		if cd.row != 0 {
+			continue
+		}
+		switch cd.site {
+		case 0:
+			costAt0, found0 = w.candCost[ci][k], true
+		case 6:
+			costAt6, found6 = w.candCost[ci][k], true
+		}
+	}
+	if !found0 || !found6 {
+		t.Fatal("expected candidates at sites 0 and 6")
+	}
+	if costAt0 != 0 {
+		t.Errorf("staying in an empty region costs %f, want 0 (own pins excluded)", costAt0)
+	}
+	if costAt6 <= costAt0 {
+		t.Errorf("crowded column cost %f not above empty column cost %f", costAt6, costAt0)
+	}
+}
+
+// TestPinDensityZeroWeightIsNeutral: zero weight must leave candCost at
+// zero and not perturb the default objective.
+func TestPinDensityZeroWeightIsNeutral(t *testing.T) {
+	p := genPlaced(t, tech.ClosedM1, 150, 66, 0.6)
+	prm := DefaultParams(p.Tech, tech.ClosedM1)
+	ps := ParamSet{BW: 2000, BH: 2000, LX: 2, LY: 1}
+	all := make([]int, len(p.Design.Insts))
+	for i := range all {
+		all[i] = i
+	}
+	w := buildWindow(p, prm, p.DieRect(), ps, all, true, false)
+	for ci := range w.candCost {
+		for _, c := range w.candCost[ci] {
+			if c != 0 {
+				t.Fatal("nonzero candidate cost with zero weight")
+			}
+		}
+	}
+}

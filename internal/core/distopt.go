@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sync"
+
+	"vm1place/internal/geom"
+	"vm1place/internal/layout"
+)
+
+// DistOpt is Algorithm 2: partition the layout into bw x bh windows at
+// offset (tx, ty), then optimize diagonal families of windows (disjoint x
+// and y projections, Figure 3) in parallel. allowMove/allowFlip select the
+// pass mode of Algorithm 1 (perturb with f=0, or flip-only with f=1).
+//
+// Each family is solved against a snapshot of the placement and applied
+// before the next family starts, so parallel solves never race; windows in
+// one family are disjoint, so applying their solutions cannot conflict.
+func DistOpt(p *layout.Placement, prm Params, ps ParamSet, tx, ty int64,
+	allowMove, allowFlip bool) Objective {
+	rects, nwx, nwy := partition(p, ps, tx, ty)
+	buckets := bucketInsts(p, ps, tx, ty, nwx, nwy)
+
+	workers := prm.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+
+	// Diagonal scheduling: family f holds windows with (wi - wj) ≡ f
+	// (mod D); within a family, window x indices and y indices are all
+	// distinct, so projections are disjoint.
+	d := nwx
+	if nwy > d {
+		d = nwy
+	}
+	for f := 0; f < d; f++ {
+		var family []int
+		for wj := 0; wj < nwy; wj++ {
+			for wi := 0; wi < nwx; wi++ {
+				if ((wi-wj)%d+d)%d == f {
+					family = append(family, wj*nwx+wi)
+				}
+			}
+		}
+		if len(family) == 0 {
+			continue
+		}
+
+		snap := p.Clone()
+		type result struct {
+			w      *window
+			assign []int
+		}
+		results := make([]result, len(family))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for k, widx := range family {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(k, widx int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				w := buildWindow(snap, prm, rects[widx], ps, buckets[widx], allowMove, allowFlip)
+				results[k] = result{w: w, assign: w.solve()}
+			}(k, widx)
+		}
+		wg.Wait()
+
+		for _, res := range results {
+			if res.assign == nil {
+				continue
+			}
+			for ci, inst := range res.w.movable {
+				cd := res.w.cand[ci][res.assign[ci]]
+				p.SetLoc(inst, cd.site, cd.row, cd.flip)
+			}
+		}
+	}
+	return CalculateObj(p, prm)
+}
+
+// partition tiles the die with bw x bh windows offset by (tx, ty),
+// returning the window rectangles in row-major order plus grid dimensions.
+func partition(p *layout.Placement, ps ParamSet, tx, ty int64) ([]geom.Rect, int, int) {
+	bw, bh := ps.BW, ps.BH
+	if bw <= 0 {
+		bw = p.DieWidth()
+	}
+	if bh <= 0 {
+		bh = p.DieHeight()
+	}
+	x0 := mod64(tx, bw) - bw
+	y0 := mod64(ty, bh) - bh
+	nwx := int((p.DieWidth()-x0)/bw) + 1
+	nwy := int((p.DieHeight()-y0)/bh) + 1
+	rects := make([]geom.Rect, 0, nwx*nwy)
+	for wj := 0; wj < nwy; wj++ {
+		for wi := 0; wi < nwx; wi++ {
+			rects = append(rects, geom.Rect{
+				XLo: x0 + int64(wi)*bw,
+				YLo: y0 + int64(wj)*bh,
+				XHi: x0 + int64(wi+1)*bw,
+				YHi: y0 + int64(wj+1)*bh,
+			})
+		}
+	}
+	return rects, nwx, nwy
+}
+
+// bucketInsts assigns every instance to each window its rectangle
+// intersects.
+func bucketInsts(p *layout.Placement, ps ParamSet, tx, ty int64, nwx, nwy int) [][]int {
+	bw, bh := ps.BW, ps.BH
+	if bw <= 0 {
+		bw = p.DieWidth()
+	}
+	if bh <= 0 {
+		bh = p.DieHeight()
+	}
+	x0 := mod64(tx, bw) - bw
+	y0 := mod64(ty, bh) - bh
+	buckets := make([][]int, nwx*nwy)
+	for i := range p.Design.Insts {
+		r := p.InstRect(i)
+		wi0 := int((r.XLo - x0) / bw)
+		wi1 := int((r.XHi - 1 - x0) / bw)
+		wj0 := int((r.YLo - y0) / bh)
+		wj1 := int((r.YHi - 1 - y0) / bh)
+		for wj := clampInt(wj0, 0, nwy-1); wj <= clampInt(wj1, 0, nwy-1); wj++ {
+			for wi := clampInt(wi0, 0, nwx-1); wi <= clampInt(wi1, 0, nwx-1); wi++ {
+				buckets[wj*nwx+wi] = append(buckets[wj*nwx+wi], i)
+			}
+		}
+	}
+	return buckets
+}
+
+func mod64(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"vm1place/internal/layout"
+)
+
+// Result summarizes one VM1Opt run.
+type Result struct {
+	// Initial and Final objectives.
+	Initial, Final Objective
+	// History holds the objective after every DistOpt pair.
+	History []Objective
+	// Iters counts DistOpt pairs executed.
+	Iters int
+	// Duration is wall time of the optimization.
+	Duration time.Duration
+}
+
+// VM1Opt is Algorithm 1: for each parameter set u in the sequence U,
+// alternate a perturbation pass (f=0) and a flip pass (f=1) of DistOpt,
+// shifting the window grid between iterations to cover boundary cells,
+// until the relative objective improvement drops below θ; then advance to
+// the next parameter set.
+//
+// The placement is optimized in place and stays legal throughout.
+func VM1Opt(p *layout.Placement, prm Params, u Sequence) Result {
+	start := time.Now()
+	res := Result{Initial: CalculateObj(p, prm)}
+	obj := res.Initial
+
+	for _, ps := range u {
+		var tx, ty int64
+		iters := 0
+		for {
+			preObj := obj.Value
+
+			// Perturbation pass: move within (lx, ly), keep orientation.
+			DistOpt(p, prm, ps, tx, ty, true, false)
+			// Flip pass: keep location, optimize orientation.
+			obj = DistOpt(p, prm, ps, tx, ty, false, true)
+
+			// Shift windows to pick up previously-unoptimizable boundary
+			// cells (Section 4.2).
+			tx += ps.BW / 2
+			ty += ps.BH / 2
+
+			res.History = append(res.History, obj)
+			res.Iters++
+			iters++
+
+			dObj := (preObj - obj.Value) / math.Max(math.Abs(preObj), 1)
+			if dObj < prm.Theta {
+				break
+			}
+			if prm.MaxOuterIters > 0 && iters >= prm.MaxOuterIters {
+				break
+			}
+		}
+	}
+	res.Final = obj
+	res.Duration = time.Since(start)
+	return res
+}
+
+// VM1OptJoint is the ablation variant of Algorithm 1 that optimizes
+// location and orientation *simultaneously* in each window MILP instead of
+// the paper's sequential perturb-then-flip passes. The paper observes the
+// sequential scheme is faster at similar quality (§4.2); this variant
+// exists to reproduce that comparison.
+func VM1OptJoint(p *layout.Placement, prm Params, u Sequence) Result {
+	start := time.Now()
+	res := Result{Initial: CalculateObj(p, prm)}
+	obj := res.Initial
+
+	for _, ps := range u {
+		var tx, ty int64
+		iters := 0
+		for {
+			preObj := obj.Value
+			obj = DistOpt(p, prm, ps, tx, ty, true, true)
+			tx += ps.BW / 2
+			ty += ps.BH / 2
+			res.History = append(res.History, obj)
+			res.Iters++
+			iters++
+			dObj := (preObj - obj.Value) / math.Max(math.Abs(preObj), 1)
+			if dObj < prm.Theta {
+				break
+			}
+			if prm.MaxOuterIters > 0 && iters >= prm.MaxOuterIters {
+				break
+			}
+		}
+	}
+	res.Final = obj
+	res.Duration = time.Since(start)
+	return res
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"vm1place/internal/cells"
+	"vm1place/internal/geom"
+	"vm1place/internal/layout"
+	"vm1place/internal/netlist"
+	"vm1place/internal/tech"
+)
+
+// cand is one SCP candidate for a movable cell: a location and orientation
+// (the paper's λ_c^k with its x_c^k, y_c^k, f_c^k).
+type cand struct {
+	site, row int
+	flip      bool
+}
+
+// window is one MILP subproblem: the movable cells fully inside a window
+// rectangle, their candidates, and the nets/pairs they touch.
+type window struct {
+	p   *layout.Placement // read-only snapshot during parallel solves
+	prm Params
+
+	s0, s1 int // site range [s0, s1)
+	r0, r1 int // row range [r0, r1)
+
+	movable []int    // instance indices
+	cand    [][]cand // candidates per movable cell
+	curCand []int    // index of the input-placement candidate per cell
+	blocked []bool   // window sites blocked by non-movable cells
+	// candCost[ci][k] is an extra linear objective cost for candidate k of
+	// cell ci (pin-density term; zero when disabled).
+	candCost [][]float64
+
+	nets  []*winNet
+	pairs []*winPair
+}
+
+// winPin is a net terminal as seen by the window MILP: movable (cell index
+// within window plus per-candidate geometry) or fixed (constants).
+type winPin struct {
+	cell int // index into movable, or -1 when fixed
+	conn netlist.Conn
+
+	// Per-candidate geometry (movable) or single-element (fixed):
+	// centerX/centerY for HPWL, alignX for ClosedM1, extLo/extHi for
+	// OpenM1, rowOf for pruning.
+	centerX, centerY []int64
+	alignX           []int64
+	extLo, extHi     []int64
+	rowOf            []int
+}
+
+// winNet is a net with at least one movable pin.
+type winNet struct {
+	ni      int
+	movable []winPin
+	// Fixed-terminal extremes folded into bounds (valid iff hasFixed).
+	hasFixed                   bool
+	fxMin, fxMax, fyMin, fyMax int64
+}
+
+// winPair is an eligible pin pair (p, q) of one net.
+type winPair struct {
+	net  *winNet
+	p, q winPin
+}
+
+// occKey indexes window occupancy cells.
+func (w *window) occIdx(row, site int) int {
+	return (row-w.r0)*(w.s1-w.s0) + (site - w.s0)
+}
+
+// buildWindow constructs the subproblem for the window rectangle. insts
+// must contain every instance whose rect intersects the rectangle (a
+// superset is fine). allowMove/allowFlip select the DistOpt pass mode.
+func buildWindow(p *layout.Placement, prm Params, rect geom.Rect, ps ParamSet,
+	insts []int, allowMove, allowFlip bool) *window {
+	t := p.Tech
+	w := &window{p: p, prm: prm}
+	w.s0 = int(rect.XLo / t.SiteWidth)
+	w.s1 = int(rect.XHi / t.SiteWidth)
+	w.r0 = int(rect.YLo / t.RowHeight)
+	w.r1 = int(rect.YHi / t.RowHeight)
+	if w.s0 < 0 {
+		w.s0 = 0
+	}
+	if w.r0 < 0 {
+		w.r0 = 0
+	}
+	if w.s1 > p.NumSites {
+		w.s1 = p.NumSites
+	}
+	if w.r1 > p.NumRows {
+		w.r1 = p.NumRows
+	}
+	if w.s1 <= w.s0 || w.r1 <= w.r0 {
+		return w
+	}
+
+	// Blocked sites: cells intersecting but not fully inside the window.
+	w.blocked = make([]bool, (w.r1-w.r0)*(w.s1-w.s0))
+	blocked := w.blocked
+	for _, i := range insts {
+		wi := p.Design.Insts[i].Master.WidthSites
+		row, site := p.Row[i], p.SiteX[i]
+		inside := row >= w.r0 && row < w.r1 && site >= w.s0 && site+wi <= w.s1
+		if inside {
+			w.movable = append(w.movable, i)
+			continue
+		}
+		if row < w.r0 || row >= w.r1 {
+			continue
+		}
+		for s := maxInt(site, w.s0); s < minInt(site+wi, w.s1); s++ {
+			blocked[w.occIdx(row, s)] = true
+		}
+	}
+
+	// Candidates.
+	lx, ly := ps.LX, ps.LY
+	if !allowMove {
+		lx, ly = 0, 0
+	}
+	w.cand = make([][]cand, len(w.movable))
+	w.curCand = make([]int, len(w.movable))
+	for ci, i := range w.movable {
+		wi := p.Design.Insts[i].Master.WidthSites
+		curSite, curRow, curFlip := p.SiteX[i], p.Row[i], p.Flip[i]
+		var flips []bool
+		if allowFlip {
+			flips = []bool{false, true}
+		} else {
+			flips = []bool{curFlip}
+		}
+		cur := -1
+		for r := curRow - ly; r <= curRow+ly; r++ {
+			if r < w.r0 || r >= w.r1 {
+				continue
+			}
+			for s := curSite - lx; s <= curSite+lx; s++ {
+				if s < w.s0 || s+wi > w.s1 {
+					continue
+				}
+				hitsBlocked := false
+				for ss := s; ss < s+wi; ss++ {
+					if blocked[w.occIdx(r, ss)] {
+						hitsBlocked = true
+						break
+					}
+				}
+				if hitsBlocked {
+					continue
+				}
+				for _, f := range flips {
+					if s == curSite && r == curRow && f == curFlip {
+						cur = len(w.cand[ci])
+					}
+					w.cand[ci] = append(w.cand[ci], cand{site: s, row: r, flip: f})
+				}
+			}
+		}
+		if cur == -1 {
+			// The current position must always be available (fixed cells
+			// cannot overlap it). Guard against accounting bugs by adding
+			// it explicitly.
+			cur = len(w.cand[ci])
+			w.cand[ci] = append(w.cand[ci], cand{site: curSite, row: curRow, flip: curFlip})
+		}
+		w.curCand[ci] = cur
+	}
+
+	w.buildCandCosts(insts)
+	w.collectNetsAndPairs()
+	return w
+}
+
+// buildCandCosts precomputes the optional pin-density penalty: for each
+// candidate, the number of signal pins of *other* cells whose access track
+// falls into the candidate's site columns, scaled by PinDensityWeight.
+func (w *window) buildCandCosts(insts []int) {
+	w.candCost = make([][]float64, len(w.movable))
+	for ci := range w.movable {
+		w.candCost[ci] = make([]float64, len(w.cand[ci]))
+	}
+	if w.prm.PinDensityWeight <= 0 {
+		return
+	}
+	p := w.p
+	t := p.Tech
+	// Pin counts per window site column (all rows folded: vertical M1
+	// access makes column crowding the relevant quantity).
+	colPins := make([]float64, w.s1-w.s0)
+	for _, i := range insts {
+		m := p.Design.Insts[i].Master
+		for pi := range m.Pins {
+			pin := &m.Pins[pi]
+			if !pin.IsSignal() {
+				continue
+			}
+			cx := p.InstX(i) + cells.AlignX(m, t, pin, p.Flip[i])
+			sx := t.XToSite(cx)
+			if sx >= w.s0 && sx < w.s1 {
+				colPins[sx-w.s0]++
+			}
+		}
+	}
+	for ci, i := range w.movable {
+		m := p.Design.Insts[i].Master
+		// Subtract the cell's own pins: they travel with the candidate and
+		// must not penalize staying put.
+		own := make(map[int]float64)
+		for pi := range m.Pins {
+			pin := &m.Pins[pi]
+			if !pin.IsSignal() {
+				continue
+			}
+			cx := p.InstX(i) + cells.AlignX(m, t, pin, p.Flip[i])
+			sx := t.XToSite(cx)
+			if sx >= w.s0 && sx < w.s1 {
+				own[sx-w.s0]++
+			}
+		}
+		for k, cd := range w.cand[ci] {
+			var dens float64
+			for s := cd.site; s < cd.site+m.WidthSites; s++ {
+				dens += colPins[s-w.s0] - own[s-w.s0]
+			}
+			w.candCost[ci][k] = w.prm.PinDensityWeight * dens
+		}
+	}
+}
+
+// cellOf maps an instance to its movable index within the window, or -1.
+func (w *window) cellOf(inst int) int {
+	for ci, i := range w.movable {
+		if i == inst {
+			return ci
+		}
+	}
+	return -1
+}
+
+// makePin builds the winPin view of a connection.
+func (w *window) makePin(c netlist.Conn) winPin {
+	p := w.p
+	t := p.Tech
+	inst := &p.Design.Insts[c.Inst]
+	pin := &inst.Master.Pins[c.Pin]
+	wp := winPin{cell: w.cellOf(c.Inst), conn: c}
+	geomFor := func(site, row int, flip bool) (cx, cy, ax, lo, hi int64, r int) {
+		x := t.SiteX(site)
+		y := t.RowY(row)
+		ax = x + cells.AlignX(inst.Master, t, pin, flip)
+		ext := cells.XExtent(inst.Master, t, pin, flip)
+		lo, hi = x+ext.Lo, x+ext.Hi
+		cx = (lo + hi) / 2
+		cy = y + cells.PinY(inst.Master, t, pin)
+		return cx, cy, ax, lo, hi, row
+	}
+	if wp.cell < 0 {
+		cx, cy, ax, lo, hi, r := geomFor(p.SiteX[c.Inst], p.Row[c.Inst], p.Flip[c.Inst])
+		wp.centerX = []int64{cx}
+		wp.centerY = []int64{cy}
+		wp.alignX = []int64{ax}
+		wp.extLo = []int64{lo}
+		wp.extHi = []int64{hi}
+		wp.rowOf = []int{r}
+		return wp
+	}
+	cs := w.cand[wp.cell]
+	wp.centerX = make([]int64, len(cs))
+	wp.centerY = make([]int64, len(cs))
+	wp.alignX = make([]int64, len(cs))
+	wp.extLo = make([]int64, len(cs))
+	wp.extHi = make([]int64, len(cs))
+	wp.rowOf = make([]int, len(cs))
+	for k, cd := range cs {
+		wp.centerX[k], wp.centerY[k], wp.alignX[k], wp.extLo[k], wp.extHi[k], wp.rowOf[k] =
+			geomFor(cd.site, cd.row, cd.flip)
+	}
+	return wp
+}
+
+// collectNetsAndPairs gathers the nets touching movable cells, their fixed
+// extremes, and the prunable pin pairs.
+func (w *window) collectNetsAndPairs() {
+	p := w.p
+	d := p.Design
+	seen := map[int]*winNet{}
+	for _, i := range w.movable {
+		for _, ni := range d.Insts[i].PinNets {
+			if ni < 0 || d.Nets[ni].IsClock || seen[ni] != nil {
+				continue
+			}
+			seen[ni] = w.buildNet(ni)
+			w.nets = append(w.nets, seen[ni])
+		}
+	}
+	for _, wn := range w.nets {
+		w.buildPairs(wn)
+	}
+}
+
+func (w *window) buildNet(ni int) *winNet {
+	p := w.p
+	d := p.Design
+	wn := &winNet{ni: ni}
+	wn.fxMin, wn.fyMin = int64(1)<<62, int64(1)<<62
+	wn.fxMax, wn.fyMax = -(int64(1) << 62), -(int64(1) << 62)
+	addFixed := func(x, y int64) {
+		wn.hasFixed = true
+		if x < wn.fxMin {
+			wn.fxMin = x
+		}
+		if x > wn.fxMax {
+			wn.fxMax = x
+		}
+		if y < wn.fyMin {
+			wn.fyMin = y
+		}
+		if y > wn.fyMax {
+			wn.fyMax = y
+		}
+	}
+	d.Nets[ni].ForEachConn(func(c netlist.Conn) {
+		wp := w.makePin(c)
+		if wp.cell >= 0 {
+			wn.movable = append(wn.movable, wp)
+		} else {
+			addFixed(wp.centerX[0], wp.centerY[0])
+		}
+	})
+	for pi := range d.Ports {
+		if d.Ports[pi].Net == ni {
+			addFixed(p.PortXY[pi].X, p.PortXY[pi].Y)
+		}
+	}
+	return wn
+}
+
+// maxPairsPerNet bounds the pair variables contributed by one net; pairs
+// are kept by priority (movable-movable first, then smallest current row
+// distance), which keeps the MILP compact on high-fanout nets.
+const maxPairsPerNet = 16
+
+// buildPairs enumerates the eligible (movable, movable) and (movable,
+// fixed-pin) pairs of a net, pruning pairs that cannot possibly align or
+// overlap under any candidate choice.
+func (w *window) buildPairs(wn *winNet) {
+	d := w.p.Design
+	// All signal terminals (fixed pins rebuilt for pairing; ports excluded
+	// — they are not M1 pins).
+	var terms []winPin
+	d.Nets[wn.ni].ForEachConn(func(c netlist.Conn) {
+		terms = append(terms, w.makePin(c))
+	})
+	type scored struct {
+		pr    *winPair
+		mm    bool // movable-movable
+		rdist int  // current row distance
+	}
+	var cands []scored
+	for i := 0; i < len(terms); i++ {
+		for j := i + 1; j < len(terms); j++ {
+			a, b := terms[i], terms[j]
+			if a.conn.Inst == b.conn.Inst {
+				continue
+			}
+			if a.cell < 0 && b.cell < 0 {
+				continue // fixed-fixed pairs are constants
+			}
+			if !w.pairFeasible(a, b) {
+				continue
+			}
+			ra := w.p.Row[a.conn.Inst]
+			rb := w.p.Row[b.conn.Inst]
+			rd := ra - rb
+			if rd < 0 {
+				rd = -rd
+			}
+			cands = append(cands, scored{
+				pr:    &winPair{net: wn, p: a, q: b},
+				mm:    a.cell >= 0 && b.cell >= 0,
+				rdist: rd,
+			})
+		}
+	}
+	if len(cands) > maxPairsPerNet {
+		for i := 0; i < len(cands); i++ {
+			for j := i + 1; j < len(cands); j++ {
+				better := (cands[j].mm && !cands[i].mm) ||
+					(cands[j].mm == cands[i].mm && cands[j].rdist < cands[i].rdist)
+				if better {
+					cands[i], cands[j] = cands[j], cands[i]
+				}
+			}
+		}
+		cands = cands[:maxPairsPerNet]
+	}
+	for _, c := range cands {
+		w.pairs = append(w.pairs, c.pr)
+	}
+}
+
+// pairFeasible conservatively tests whether any candidate combination can
+// realize the pair's alignment/overlap.
+func (w *window) pairFeasible(a, b winPin) bool {
+	// Row distance must be able to reach <= gamma.
+	aLo, aHi := minMaxInt(a.rowOf)
+	bLo, bHi := minMaxInt(b.rowOf)
+	dist := 0
+	if aLo > bHi {
+		dist = aLo - bHi
+	} else if bLo > aHi {
+		dist = bLo - aHi
+	}
+	if dist > w.prm.alignGamma() {
+		return false
+	}
+	if w.prm.Arch == tech.OpenM1 {
+		loA, _ := minMax64(a.extLo)
+		_, hiA := minMax64(a.extHi)
+		loB, _ := minMax64(b.extLo)
+		_, hiB := minMax64(b.extHi)
+		// Best-case overlap upper bound.
+		best := min64(hiA, hiB) - max64(loA, loB)
+		return best >= w.prm.DeltaDBU
+	}
+	// ClosedM1: the achievable alignX sets must intersect as ranges.
+	loA, hiA := minMax64(a.alignX)
+	loB, hiB := minMax64(b.alignX)
+	return loA <= hiB && loB <= hiA
+}
+
+func minMaxInt(v []int) (int, int) {
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func minMax64(v []int64) (int64, int64) {
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

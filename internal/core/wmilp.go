@@ -1,0 +1,535 @@
+package core
+
+import (
+	"math"
+
+	"vm1place/internal/lp"
+	"vm1place/internal/milp"
+	"vm1place/internal/tech"
+)
+
+// objective evaluates the window-local objective of an assignment
+// (candidate index per movable cell): Σ β·wn − α·#pairs − ε·Σ overlap.
+// It is exactly the MILP objective restricted to this window's nets and
+// (pruned) pairs, so MILP incumbents and greedy moves are comparable.
+func (w *window) objective(assign []int) float64 {
+	total := 0.0
+	for ci, k := range assign {
+		total += w.candCost[ci][k]
+	}
+	for _, wn := range w.nets {
+		total += w.prm.betaOf(wn.ni) * float64(w.netWL(wn, assign))
+	}
+	for _, pr := range w.pairs {
+		hit, over := w.pairState(pr, assign)
+		if hit {
+			total -= w.prm.Alpha
+			total -= w.prm.Epsilon * float64(over)
+		}
+	}
+	return total
+}
+
+// netWL computes a net's HPWL under an assignment.
+func (w *window) netWL(wn *winNet, assign []int) int64 {
+	var xlo, xhi, ylo, yhi int64
+	init := false
+	add := func(x, y int64) {
+		if !init {
+			xlo, xhi, ylo, yhi = x, x, y, y
+			init = true
+			return
+		}
+		if x < xlo {
+			xlo = x
+		}
+		if x > xhi {
+			xhi = x
+		}
+		if y < ylo {
+			ylo = y
+		}
+		if y > yhi {
+			yhi = y
+		}
+	}
+	if wn.hasFixed {
+		add(wn.fxMin, wn.fyMin)
+		add(wn.fxMax, wn.fyMax)
+	}
+	for _, mp := range wn.movable {
+		k := assign[mp.cell]
+		add(mp.centerX[k], mp.centerY[k])
+	}
+	if !init {
+		return 0
+	}
+	return (xhi - xlo) + (yhi - ylo)
+}
+
+// pinAt returns the geometry index of a pin under an assignment (0 for
+// fixed pins).
+func pinAt(p winPin, assign []int) int {
+	if p.cell < 0 {
+		return 0
+	}
+	return assign[p.cell]
+}
+
+// pairState evaluates a pair under an assignment.
+func (w *window) pairState(pr *winPair, assign []int) (bool, int64) {
+	kp := pinAt(pr.p, assign)
+	kq := pinAt(pr.q, assign)
+	dr := pr.p.rowOf[kp] - pr.q.rowOf[kq]
+	if dr < 0 {
+		dr = -dr
+	}
+	if dr > w.prm.alignGamma() {
+		return false, 0
+	}
+	if w.prm.Arch == tech.OpenM1 {
+		lo := max64(pr.p.extLo[kp], pr.q.extLo[kq])
+		hi := min64(pr.p.extHi[kp], pr.q.extHi[kq])
+		if hi-lo >= w.prm.DeltaDBU {
+			return true, hi - lo - w.prm.DeltaDBU
+		}
+		return false, 0
+	}
+	return pr.p.alignX[kp] == pr.q.alignX[kq], 0
+}
+
+// feasibleAssign reports whether an assignment is overlap-free within the
+// window (fixed blocks included).
+func (w *window) feasibleAssign(assign []int) bool {
+	occ := make([]bool, len(w.blocked))
+	copy(occ, w.blocked)
+	for ci, i := range w.movable {
+		cd := w.cand[ci][assign[ci]]
+		wi := w.p.Design.Insts[i].Master.WidthSites
+		for s := cd.site; s < cd.site+wi; s++ {
+			idx := w.occIdx(cd.row, s)
+			if occ[idx] {
+				return false
+			}
+			occ[idx] = true
+		}
+	}
+	return true
+}
+
+// solve optimizes the window and returns an improved assignment, or nil
+// when the input placement is retained. Windows beyond the MILP size
+// budget fall back to the greedy hill-climbing heuristic.
+func (w *window) solve() []int {
+	if len(w.movable) == 0 {
+		return nil
+	}
+	nBin := 0
+	for _, cs := range w.cand {
+		nBin += len(cs)
+	}
+	limit := w.prm.MaxMILPCells
+	if limit <= 0 {
+		limit = 100
+	}
+	if len(w.movable) > limit || nBin > 6000 {
+		return w.solveGreedy()
+	}
+	return w.solveMILP()
+}
+
+// buildModel assembles the window MILP (Section 3 of the paper) and
+// returns the LP, the MILP wrapper, the λ variable ids per cell and
+// candidate, and the constant objective offset K (window HPWL parts that
+// no candidate choice can affect and that are therefore kept out of the
+// model; modelObj = windowObj − K).
+func (w *window) buildModel() (*lp.Model, *milp.Model, [][]int, float64) {
+	t := w.p.Tech
+	m := lp.NewModel()
+	mm := milp.NewModel(m)
+	inf := math.Inf(1)
+	gammaH := float64(int64(w.prm.alignGamma()) * t.RowHeight)
+
+	// λ variables, one exactly-one group per cell (Constraints 5-8 in SCP
+	// form).
+	lambda := make([][]int, len(w.movable))
+	for ci, cs := range w.cand {
+		lambda[ci] = make([]int, len(cs))
+		terms := make([]lp.Term, len(cs))
+		for k := range cs {
+			v := m.AddVar(0, 1, w.candCost[ci][k], "l")
+			lambda[ci][k] = v
+			terms[k] = lp.Term{Var: v, Coef: 1}
+		}
+		m.AddRow(lp.EQ, 1, terms...)
+		mm.AddGroup(lambda[ci])
+	}
+
+	// Site occupancy (Constraint 9): each window site holds at most one
+	// candidate footprint.
+	occ := make(map[int][]lp.Term)
+	for ci, i := range w.movable {
+		wi := w.p.Design.Insts[i].Master.WidthSites
+		for k, cd := range w.cand[ci] {
+			for s := cd.site; s < cd.site+wi; s++ {
+				idx := w.occIdx(cd.row, s)
+				occ[idx] = append(occ[idx], lp.Term{Var: lambda[ci][k], Coef: 1})
+			}
+		}
+	}
+	for _, terms := range occ {
+		if len(terms) > 1 {
+			m.AddRow(lp.LE, 1, terms...)
+		}
+	}
+
+	// pinExpr returns the λ-terms and constant of a pin coordinate.
+	pinExpr := func(p winPin, vals []int64) ([]lp.Term, float64) {
+		if p.cell < 0 {
+			return nil, float64(vals[0])
+		}
+		terms := make([]lp.Term, len(vals))
+		for k, v := range vals {
+			terms[k] = lp.Term{Var: lambda[p.cell][k], Coef: float64(v)}
+		}
+		return terms, 0
+	}
+
+	// Net bound variables and rows (Constraints 2-3; wn folded into the
+	// objective coefficients of the four bound variables). Two exact
+	// reductions keep the model small:
+	//   - a pin whose candidate range lies inside the fixed-terminal box
+	//     on an axis can never define the net bound there, so its rows on
+	//     that axis are omitted (they would always be slack);
+	//   - an axis with no contributing pin has a constant span, which is
+	//     accumulated into the offset K instead of the model.
+	// Remaining bounds are tightened with the per-pin candidate extremes,
+	// which both sharpens the relaxation and lets the crash basis start
+	// feasible.
+	constK := 0.0
+	for _, wn := range w.nets {
+		beta := w.prm.betaOf(wn.ni)
+		type axis struct {
+			vals     func(mp winPin) []int64
+			fLo, fHi int64 // fixed extremes (valid iff hasFixed)
+		}
+		axes := [2]axis{
+			{vals: func(mp winPin) []int64 { return mp.centerX }, fLo: wn.fxMin, fHi: wn.fxMax},
+			{vals: func(mp winPin) []int64 { return mp.centerY }, fLo: wn.fyMin, fHi: wn.fyMax},
+		}
+		for _, ax := range axes {
+			var contrib []winPin
+			lo, hi := -inf, inf
+			if wn.hasFixed {
+				lo, hi = float64(ax.fHi), float64(ax.fLo)
+			}
+			for _, mp := range wn.movable {
+				cLo, cHi := minMax64(ax.vals(mp))
+				if wn.hasFixed && cLo >= ax.fLo && cHi <= ax.fHi {
+					continue // never defines the bound on this axis
+				}
+				contrib = append(contrib, mp)
+				lo = math.Max(lo, float64(cLo))
+				hi = math.Min(hi, float64(cHi))
+			}
+			if len(contrib) == 0 {
+				if wn.hasFixed {
+					constK += beta * float64(ax.fHi-ax.fLo)
+				}
+				continue
+			}
+			vmax := m.AddVar(lo, inf, beta, "max")
+			vmin := m.AddVar(-inf, hi, -beta, "min")
+			for _, mp := range contrib {
+				tv, _ := pinExpr(mp, ax.vals(mp))
+				m.AddRow(lp.GE, 0, append(negate(tv), lp.Term{Var: vmax, Coef: 1})...)
+				m.AddRow(lp.LE, 0, append(negate(tv), lp.Term{Var: vmin, Coef: 1})...)
+			}
+		}
+	}
+
+	// Pair variables and rows. Each big-G constant is the smallest valid
+	// bound computed from the pair's candidate geometry, which keeps the
+	// LP relaxation tight (a global big-G lets the relaxed d float to ~1
+	// for free and cripples branch-and-bound pruning).
+	for _, pr := range w.pairs {
+		d := m.AddVar(0, 1, -w.prm.Alpha, "d")
+		mm.MarkInt(d)
+		switch w.prm.Arch {
+		case tech.ClosedM1:
+			// Constraint (4): d=1 forces equal x and |Δy| <= γH.
+			loP, hiP := minMax64(pr.p.alignX)
+			loQ, hiQ := minMax64(pr.q.alignX)
+			gx := float64(max64(hiP-loQ, hiQ-loP)) + 1
+			loPy, hiPy := minMax64(pr.p.centerY)
+			loQy, hiQy := minMax64(pr.q.centerY)
+			gy := float64(max64(hiPy-loQy, hiQy-loPy)) + 1
+			tp, cp := pinExpr(pr.p, pr.p.alignX)
+			tq, cq := pinExpr(pr.q, pr.q.alignX)
+			dx := append(append([]lp.Term{}, tp...), negate(tq)...)
+			m.AddRow(lp.LE, gx-cp+cq, append(dx, lp.Term{Var: d, Coef: gx})...)
+			m.AddRow(lp.GE, -gx-cp+cq, append(append([]lp.Term{}, dx...), lp.Term{Var: d, Coef: -gx})...)
+			typ, cpy := pinExpr(pr.p, pr.p.centerY)
+			tqy, cqy := pinExpr(pr.q, pr.q.centerY)
+			dy := append(append([]lp.Term{}, typ...), negate(tqy)...)
+			m.AddRow(lp.LE, gy+gammaH-cpy+cqy, append(dy, lp.Term{Var: d, Coef: gy})...)
+			m.AddRow(lp.GE, -gy-gammaH-cpy+cqy, append(append([]lp.Term{}, dy...), lp.Term{Var: d, Coef: -gy})...)
+		case tech.OpenM1:
+			// Constraints (11)-(14).
+			loPl, _ := minMax64(pr.p.extLo)
+			loQl, _ := minMax64(pr.q.extLo)
+			_, hiPh := minMax64(pr.p.extHi)
+			_, hiQh := minMax64(pr.q.extHi)
+			aLo := float64(min64(loPl, loQl))
+			bHi := float64(max64(hiPh, hiQh))
+			spanX := bHi - aLo
+			go1 := spanX + float64(w.prm.DeltaDBU) + 1 // bounds o <= b-a-δ+G(1-d)
+			loPy, hiPy := minMax64(pr.p.centerY)
+			loQy, hiQy := minMax64(pr.q.centerY)
+			gy := float64(max64(hiPy-loQy, hiQy-loPy)) + 1
+			a := m.AddVar(aLo, bHi, 0, "a")
+			b := m.AddVar(aLo, bHi, 0, "b")
+			o := m.AddVar(0, spanX, -w.prm.Epsilon, "o")
+			v := m.AddVar(0, 1, 0, "v")
+			mm.MarkInt(v)
+			tpl, cpl := pinExpr(pr.p, pr.p.extLo)
+			tql, cql := pinExpr(pr.q, pr.q.extLo)
+			tph, cph := pinExpr(pr.p, pr.p.extHi)
+			tqh, cqh := pinExpr(pr.q, pr.q.extHi)
+			m.AddRow(lp.GE, cpl, append(negate(tpl), lp.Term{Var: a, Coef: 1})...)
+			m.AddRow(lp.GE, cql, append(negate(tql), lp.Term{Var: a, Coef: 1})...)
+			m.AddRow(lp.LE, cph, append(negate(tph), lp.Term{Var: b, Coef: 1})...)
+			m.AddRow(lp.LE, cqh, append(negate(tqh), lp.Term{Var: b, Coef: 1})...)
+			typ, cpy := pinExpr(pr.p, pr.p.centerY)
+			tqy, cqy := pinExpr(pr.q, pr.q.centerY)
+			dy := append(append([]lp.Term{}, typ...), negate(tqy)...)
+			m.AddRow(lp.LE, gammaH-cpy+cqy, append(dy, lp.Term{Var: v, Coef: -gy})...)
+			m.AddRow(lp.GE, -gammaH-cpy+cqy, append(append([]lp.Term{}, dy...), lp.Term{Var: v, Coef: gy})...)
+			// (13): o <= b - a - δ + G(1-d); o <= G·d.
+			m.AddRow(lp.LE, go1-float64(w.prm.DeltaDBU),
+				lp.Term{Var: o, Coef: 1}, lp.Term{Var: b, Coef: -1},
+				lp.Term{Var: a, Coef: 1}, lp.Term{Var: d, Coef: go1})
+			m.AddRow(lp.LE, 0, lp.Term{Var: o, Coef: 1}, lp.Term{Var: d, Coef: -spanX})
+			// (14): d + v <= 1.
+			m.AddRow(lp.LE, 1, lp.Term{Var: d, Coef: 1}, lp.Term{Var: v, Coef: 1})
+		}
+	}
+
+	return m, mm, lambda, constK
+}
+
+// solveMILP builds and solves the paper's window MILP.
+func (w *window) solveMILP() []int {
+	m, mm, lambda, constK := w.buildModel()
+
+	// Incumbent: the input placement. The MILP works in model space
+	// (window objective minus the constant K), so all values handed to
+	// the solver are shifted consistently.
+	curObj := w.objective(w.curCand) - constK
+	incumbent := make([]float64, m.NumVars())
+	for ci, k := range w.curCand {
+		incumbent[lambda[ci][k]] = 1
+	}
+
+	decode := func(x []float64) []int {
+		assign := make([]int, len(w.movable))
+		for ci := range w.movable {
+			best, bestV := 0, -1.0
+			for k, v := range lambda[ci] {
+				if x[v] > bestV {
+					bestV = x[v]
+					best = k
+				}
+			}
+			assign[ci] = best
+		}
+		return assign
+	}
+
+	rounder := func(x []float64) ([]float64, float64, bool) {
+		assign := decode(x)
+		if !w.repair(assign, x, lambda) {
+			return nil, 0, false
+		}
+		vec := make([]float64, m.NumVars())
+		for ci, k := range assign {
+			vec[lambda[ci][k]] = 1
+		}
+		return vec, w.objective(assign) - constK, true
+	}
+
+	res := milp.Solve(mm, milp.Params{
+		MaxNodes:     w.prm.MaxNodes,
+		TimeLimit:    w.prm.TimeLimit,
+		Incumbent:    incumbent,
+		IncumbentObj: curObj,
+		Rounder:      rounder,
+	})
+	if res.X == nil || res.Obj >= curObj-1e-6 {
+		return nil
+	}
+	assign := decode(res.X)
+	if !w.feasibleAssign(assign) {
+		// Should not happen for MILP-feasible solutions; keep the input
+		// placement rather than corrupt it.
+		return nil
+	}
+	if w.objective(assign)-constK >= curObj-1e-9 {
+		return nil
+	}
+	return assign
+}
+
+// repair greedily fixes occupancy conflicts in a decoded assignment by
+// demoting cells to their next-best candidates (by LP value), finally their
+// current position. Returns false if no conflict-free completion is found.
+func (w *window) repair(assign []int, x []float64, lambda [][]int) bool {
+	occ := make([]bool, len(w.blocked))
+	copy(occ, w.blocked)
+	place := func(ci, k int, commit bool) bool {
+		cd := w.cand[ci][k]
+		wi := w.p.Design.Insts[w.movable[ci]].Master.WidthSites
+		for s := cd.site; s < cd.site+wi; s++ {
+			if occ[w.occIdx(cd.row, s)] {
+				return false
+			}
+		}
+		if commit {
+			for s := cd.site; s < cd.site+wi; s++ {
+				occ[w.occIdx(cd.row, s)] = true
+			}
+		}
+		return true
+	}
+	for ci := range w.movable {
+		if place(ci, assign[ci], true) {
+			continue
+		}
+		// Demote: candidates by LP value descending.
+		order := make([]int, len(w.cand[ci]))
+		for k := range order {
+			order[k] = k
+		}
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				if x[lambda[ci][order[j]]] > x[lambda[ci][order[i]]] {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+		}
+		done := false
+		for _, k := range order {
+			if place(ci, k, true) {
+				assign[ci] = k
+				done = true
+				break
+			}
+		}
+		if !done {
+			return false
+		}
+	}
+	return true
+}
+
+// negate returns terms with negated coefficients (fresh slice).
+func negate(ts []lp.Term) []lp.Term {
+	out := make([]lp.Term, len(ts))
+	for i, t := range ts {
+		out[i] = lp.Term{Var: t.Var, Coef: -t.Coef}
+	}
+	return out
+}
+
+// solveGreedy is the large-window fallback: coordinate-descent over cells,
+// each taking its best feasible candidate under the exact window objective.
+func (w *window) solveGreedy() []int {
+	assign := append([]int(nil), w.curCand...)
+	occ := make([]bool, len(w.blocked))
+	copy(occ, w.blocked)
+	mark := func(ci int, on bool) {
+		cd := w.cand[ci][assign[ci]]
+		wi := w.p.Design.Insts[w.movable[ci]].Master.WidthSites
+		for s := cd.site; s < cd.site+wi; s++ {
+			occ[w.occIdx(cd.row, s)] = on
+		}
+	}
+	free := func(ci, k int) bool {
+		cd := w.cand[ci][k]
+		wi := w.p.Design.Insts[w.movable[ci]].Master.WidthSites
+		for s := cd.site; s < cd.site+wi; s++ {
+			if occ[w.occIdx(cd.row, s)] {
+				return false
+			}
+		}
+		return true
+	}
+	for ci := range w.movable {
+		mark(ci, true)
+	}
+
+	// Per-cell objective slices for fast deltas.
+	netsOf := make([][]*winNet, len(w.movable))
+	pairsOf := make([][]*winPair, len(w.movable))
+	for _, wn := range w.nets {
+		seen := map[int]bool{}
+		for _, mp := range wn.movable {
+			if !seen[mp.cell] {
+				netsOf[mp.cell] = append(netsOf[mp.cell], wn)
+				seen[mp.cell] = true
+			}
+		}
+	}
+	for _, pr := range w.pairs {
+		if pr.p.cell >= 0 {
+			pairsOf[pr.p.cell] = append(pairsOf[pr.p.cell], pr)
+		}
+		if pr.q.cell >= 0 && pr.q.cell != pr.p.cell {
+			pairsOf[pr.q.cell] = append(pairsOf[pr.q.cell], pr)
+		}
+	}
+	localObj := func(ci int) float64 {
+		v := w.candCost[ci][assign[ci]]
+		for _, wn := range netsOf[ci] {
+			v += w.prm.betaOf(wn.ni) * float64(w.netWL(wn, assign))
+		}
+		for _, pr := range pairsOf[ci] {
+			if hit, over := w.pairState(pr, assign); hit {
+				v -= w.prm.Alpha + w.prm.Epsilon*float64(over)
+			}
+		}
+		return v
+	}
+
+	improvedAny := false
+	for pass := 0; pass < 3; pass++ {
+		improved := false
+		for ci := range w.movable {
+			cur := assign[ci]
+			mark(ci, false)
+			bestK, bestV := cur, localObj(ci)
+			for k := range w.cand[ci] {
+				if k == cur || !free(ci, k) {
+					continue
+				}
+				assign[ci] = k
+				if v := localObj(ci); v < bestV-1e-9 {
+					bestK, bestV = k, v
+				}
+			}
+			assign[ci] = bestK
+			mark(ci, true)
+			if bestK != cur {
+				improved = true
+				improvedAny = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	if !improvedAny {
+		return nil
+	}
+	return assign
+}

@@ -1,0 +1,368 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vm1place/internal/core"
+	"vm1place/internal/tech"
+)
+
+// SuiteConfig sizes the experiment suite. Scale 1.0 uses the paper's
+// instance counts; benches use smaller scales.
+type SuiteConfig struct {
+	Scale   float64
+	Workers int
+}
+
+// design returns the (possibly scaled) spec for a paper design name.
+func (c SuiteConfig) design(name string) DesignSpec {
+	specs := PaperDesigns
+	if c.Scale > 0 && c.Scale < 1 {
+		specs = ScaledDesigns(c.Scale)
+	}
+	for _, s := range specs {
+		if s.Name == name {
+			return s
+		}
+	}
+	panic("expt: unknown design " + name)
+}
+
+// --- ExptA-1 / Figure 5: window size & perturbation scalability ---------
+
+// Fig5Point is one sweep sample.
+type Fig5Point struct {
+	WindowUm float64
+	LX, LY   int
+	RWL      int64
+	Runtime  time.Duration
+}
+
+// RunFig5 sweeps square window sizes (and optionally perturbation ranges)
+// on aes/ClosedM1 with a single DistOpt pair, as in ExptA-1.
+func RunFig5(cfg SuiteConfig, windowsUm []float64, perturbations [][2]int) []Fig5Point {
+	if windowsUm == nil {
+		windowsUm = []float64{5, 10, 20, 40, 80}
+	}
+	if perturbations == nil {
+		perturbations = [][2]int{{4, 1}}
+	}
+	spec := cfg.design("aes")
+	var out []Fig5Point
+	for _, um := range windowsUm {
+		for _, lp := range perturbations {
+			r := RunFlow(spec, FlowConfig{
+				Arch: tech.ClosedM1,
+				Sequence: core.Sequence{{
+					BW: UmToDBU(um), BH: UmToDBU(um), LX: lp[0], LY: lp[1],
+				}},
+				MaxOuterIters: 1,
+				Workers:       cfg.Workers,
+			})
+			out = append(out, Fig5Point{
+				WindowUm: um, LX: lp[0], LY: lp[1],
+				RWL: r.Final.RWL, Runtime: r.OptRuntime,
+			})
+		}
+	}
+	return out
+}
+
+// WriteFig5 prints the normalized RWL / runtime series of Figure 5.
+func WriteFig5(w io.Writer, pts []Fig5Point) {
+	if len(pts) == 0 {
+		return
+	}
+	minRWL := pts[0].RWL
+	for _, p := range pts {
+		if p.RWL < minRWL {
+			minRWL = p.RWL
+		}
+	}
+	fmt.Fprintln(w, "# Figure 5: normalized RWL and runtime vs window size (aes, ClosedM1)")
+	fmt.Fprintln(w, "window_um  lx  ly  norm_rwl  runtime_s")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%9.0f  %2d  %2d  %8.4f  %9.2f\n",
+			p.WindowUm, p.LX, p.LY, float64(p.RWL)/float64(minRWL), p.Runtime.Seconds())
+	}
+}
+
+// --- ExptA-2 / Figure 6: α sensitivity ----------------------------------
+
+// Fig6Point is one α sample.
+type Fig6Point struct {
+	Alpha float64
+	RWL   int64
+	DM1   int
+}
+
+// RunFig6 sweeps α on aes with the given architecture, reporting RWL and
+// #dM1 after optimization + reroute (ExptA-2).
+func RunFig6(cfg SuiteConfig, arch tech.Arch, alphas []float64) []Fig6Point {
+	if alphas == nil {
+		alphas = []float64{0, 10, 100, 400, 800, 1200, 2000, 4000, 6000}
+	}
+	spec := cfg.design("aes")
+	var out []Fig6Point
+	for _, a := range alphas {
+		r := RunFlow(spec, FlowConfig{
+			Arch:          arch,
+			Alpha:         a,
+			AlphaSet:      true,
+			MaxOuterIters: 2,
+			Workers:       cfg.Workers,
+		})
+		out = append(out, Fig6Point{Alpha: a, RWL: r.Final.RWL, DM1: r.Final.DM1})
+	}
+	return out
+}
+
+// WriteFig6 prints the Figure 6 series.
+func WriteFig6(w io.Writer, arch tech.Arch, pts []Fig6Point) {
+	fmt.Fprintf(w, "# Figure 6: RWL and #dM1 vs alpha (aes, %s)\n", arch)
+	fmt.Fprintln(w, "alpha  rwl_um  dm1")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%5.0f  %9.1f  %6d\n", p.Alpha, um(p.RWL), p.DM1)
+	}
+}
+
+// --- ExptA-3 / Figure 7: optimization sequences --------------------------
+
+// SequenceSpec is a named U sequence from §5.2, written in paper units.
+type SequenceSpec struct {
+	Name  string
+	Steps [][3]int // (bw=bh µm, lx, ly)
+}
+
+// PaperSequences are the five example sequences of ExptA-3.
+var PaperSequences = []SequenceSpec{
+	{"seq1", [][3]int{{20, 4, 1}}},
+	{"seq2", [][3]int{{10, 3, 1}, {10, 4, 0}, {20, 4, 0}}},
+	{"seq3", [][3]int{{10, 3, 1}, {20, 3, 1}, {20, 3, 0}}},
+	{"seq4", [][3]int{{10, 3, 1}, {20, 3, 0}}},
+	{"seq5", [][3]int{{10, 3, 1}, {10, 3, 0}, {20, 3, 1}, {20, 3, 0}}},
+}
+
+// Fig7Point is one sequence's outcome.
+type Fig7Point struct {
+	Name    string
+	RWL     int64
+	Runtime time.Duration
+}
+
+// RunFig7 evaluates the five U sequences on aes/ClosedM1 (ExptA-3).
+func RunFig7(cfg SuiteConfig, seqs []SequenceSpec) []Fig7Point {
+	if seqs == nil {
+		seqs = PaperSequences
+	}
+	spec := cfg.design("aes")
+	var out []Fig7Point
+	for _, ss := range seqs {
+		var u core.Sequence
+		for _, st := range ss.Steps {
+			u = append(u, core.ParamSet{
+				BW: UmToDBU(float64(st[0])), BH: UmToDBU(float64(st[0])),
+				LX: st[1], LY: st[2],
+			})
+		}
+		r := RunFlow(spec, FlowConfig{
+			Arch:          tech.ClosedM1,
+			Sequence:      u,
+			MaxOuterIters: 2,
+			Workers:       cfg.Workers,
+		})
+		out = append(out, Fig7Point{Name: ss.Name, RWL: r.Final.RWL, Runtime: r.OptRuntime})
+	}
+	return out
+}
+
+// WriteFig7 prints the Figure 7 series.
+func WriteFig7(w io.Writer, pts []Fig7Point) {
+	fmt.Fprintln(w, "# Figure 7: RWL and runtime per optimization sequence (aes, ClosedM1)")
+	fmt.Fprintln(w, "sequence  rwl_um  runtime_s")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-8s  %9.1f  %9.2f\n", p.Name, um(p.RWL), p.Runtime.Seconds())
+	}
+}
+
+// --- ExptB / Table 2 ------------------------------------------------------
+
+// RunTable2 runs the full flow on every design for one architecture.
+func RunTable2(cfg SuiteConfig, arch tech.Arch) []FlowResult {
+	var out []FlowResult
+	for _, d := range PaperDesigns {
+		spec := cfg.design(d.Name)
+		out = append(out, RunFlow(spec, FlowConfig{Arch: arch, Workers: cfg.Workers}))
+	}
+	return out
+}
+
+// WriteTable2 prints the Table 2 block for one architecture.
+func WriteTable2(w io.Writer, arch tech.Arch, rows []FlowResult) {
+	fmt.Fprintf(w, "# Table 2 (%s-based designs)\n", arch)
+	for _, r := range rows {
+		WriteTable2Row(w, r)
+	}
+}
+
+// --- Figure 8: DRVs vs utilization ---------------------------------------
+
+// Fig8Point is one utilization sample.
+type Fig8Point struct {
+	Util     float64
+	DRVsOrig int
+	DRVsOpt  int
+	DM1      int
+}
+
+// RunFig8 sweeps placement utilization on aes/ClosedM1 and reports DRVs
+// before and after optimization plus the final dM1 count (the congestion
+// study of ExptB-1).
+func RunFig8(cfg SuiteConfig, utils []float64) []Fig8Point {
+	if utils == nil {
+		utils = []float64{0.75, 0.78, 0.81, 0.82, 0.83, 0.84}
+	}
+	spec := cfg.design("aes")
+	var out []Fig8Point
+	for _, u := range utils {
+		r := RunFlow(spec, FlowConfig{Arch: tech.ClosedM1, Util: u, Workers: cfg.Workers})
+		out = append(out, Fig8Point{
+			Util: u, DRVsOrig: r.Init.DRVs, DRVsOpt: r.Final.DRVs, DM1: r.Final.DM1,
+		})
+	}
+	return out
+}
+
+// WriteFig8 prints the Figure 8 series.
+func WriteFig8(w io.Writer, pts []Fig8Point) {
+	fmt.Fprintln(w, "# Figure 8: DRVs before/after optimization vs utilization (aes, ClosedM1)")
+	fmt.Fprintln(w, "util_pct  drv_orig  drv_opt  dm1")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8.0f  %8d  %7d  %5d\n", p.Util*100, p.DRVsOrig, p.DRVsOpt, p.DM1)
+	}
+}
+
+// --- Ablations -------------------------------------------------------------
+
+// AblationResult compares two flow variants.
+type AblationResult struct {
+	Name            string
+	BaseRWL, VarRWL int64
+	BaseDM1, VarDM1 int
+	BaseSec, VarSec float64
+}
+
+// RunAblationJointFlip compares the paper's sequential perturb-then-flip
+// DistOpt pairs against a joint move+flip optimization (§4.2's
+// observation: sequential is faster at similar quality).
+func RunAblationJointFlip(cfg SuiteConfig) AblationResult {
+	spec := cfg.design("aes")
+	seq := DefaultSequence()
+
+	base := RunFlow(spec, FlowConfig{
+		Arch: tech.ClosedM1, Sequence: seq, MaxOuterIters: 2, Workers: cfg.Workers,
+	})
+
+	// Joint variant: one DistOpt with both degrees of freedom per
+	// iteration (implemented via the core JointMode sequence flag).
+	joint := RunJointFlow(spec, FlowConfig{
+		Arch: tech.ClosedM1, Sequence: seq, MaxOuterIters: 2, Workers: cfg.Workers,
+	})
+
+	return AblationResult{
+		Name:    "sequential-vs-joint-flip",
+		BaseRWL: base.Final.RWL, VarRWL: joint.Final.RWL,
+		BaseDM1: base.Final.DM1, VarDM1: joint.Final.DM1,
+		BaseSec: base.OptRuntime.Seconds(), VarSec: joint.OptRuntime.Seconds(),
+	}
+}
+
+// RunJointFlow mirrors RunFlow but optimizes moves and flips
+// simultaneously in each window MILP.
+func RunJointFlow(spec DesignSpec, cfg FlowConfig) FlowResult {
+	if cfg.Util == 0 {
+		cfg.Util = 0.75
+	}
+	p := BuildPlaced(spec, cfg.Arch, cfg.Util)
+	prm := core.DefaultParams(p.Tech, cfg.Arch)
+	if cfg.AlphaSet || cfg.Alpha > 0 {
+		prm.Alpha = cfg.Alpha
+	}
+	if cfg.MaxOuterIters > 0 {
+		prm.MaxOuterIters = cfg.MaxOuterIters
+	}
+	if cfg.Workers > 0 {
+		prm.Workers = cfg.Workers
+	}
+	seq := cfg.Sequence
+	if seq == nil {
+		seq = DefaultSequence()
+	}
+	res := FlowResult{
+		Design: spec.Name, NumInsts: len(p.Design.Insts),
+		Arch: cfg.Arch, Util: cfg.Util, Alpha: prm.Alpha,
+	}
+	var rt time.Duration
+	res.Init, rt = snapshot(p, cfg.Arch)
+	res.RouteRuntime += rt
+	opt := core.VM1OptJoint(p, prm, seq)
+	res.OptInitial = opt.Initial
+	res.OptFinal = opt.Final
+	res.OptRuntime = opt.Duration
+	res.Final, rt = snapshot(p, cfg.Arch)
+	res.RouteRuntime += rt
+	return res
+}
+
+// --- Timing-aware extension (paper future work (ii)) ----------------------
+
+// TimingAwareBetas derives per-net βn multipliers from a slack analysis of
+// the current placement: critical nets get up to (1+weight)× the HPWL
+// weight so the optimizer resists stretching them while hunting
+// alignments.
+func TimingAwareBetas(spec DesignSpec, arch tech.Arch, util, weight float64) ([]float64, error) {
+	p := BuildPlaced(spec, arch, util)
+	cfg := staDefault()
+	slacks := staNetSlacks(p, cfg)
+	return staCriticalityBetas(slacks, cfg.ClockPeriodNs, weight), nil
+}
+
+// RunTimingAwareFlow mirrors RunFlow with slack-derived NetBeta weights.
+func RunTimingAwareFlow(spec DesignSpec, cfg FlowConfig, weight float64) FlowResult {
+	if cfg.Util == 0 {
+		cfg.Util = 0.75
+	}
+	p := BuildPlaced(spec, cfg.Arch, cfg.Util)
+	prm := core.DefaultParams(p.Tech, cfg.Arch)
+	if cfg.AlphaSet || cfg.Alpha > 0 {
+		prm.Alpha = cfg.Alpha
+	}
+	if cfg.MaxOuterIters > 0 {
+		prm.MaxOuterIters = cfg.MaxOuterIters
+	}
+	if cfg.Workers > 0 {
+		prm.Workers = cfg.Workers
+	}
+	staCfg := staDefault()
+	prm.NetBeta = staCriticalityBetas(staNetSlacks(p, staCfg), staCfg.ClockPeriodNs, weight)
+	seq := cfg.Sequence
+	if seq == nil {
+		seq = DefaultSequence()
+	}
+	res := FlowResult{
+		Design: spec.Name, NumInsts: len(p.Design.Insts),
+		Arch: cfg.Arch, Util: cfg.Util, Alpha: prm.Alpha,
+	}
+	var rt time.Duration
+	res.Init, rt = snapshot(p, cfg.Arch)
+	res.RouteRuntime += rt
+	opt := core.VM1Opt(p, prm, seq)
+	res.OptInitial = opt.Initial
+	res.OptFinal = opt.Final
+	res.OptRuntime = opt.Duration
+	res.Final, rt = snapshot(p, cfg.Arch)
+	res.RouteRuntime += rt
+	return res
+}

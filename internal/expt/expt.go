@@ -1,0 +1,228 @@
+// Package expt is the experiment harness of vm1place: it reproduces every
+// evaluation table and figure of the DAC'17 paper (Table 2, Figures 5-8)
+// on the synthetic substrate, printing the same rows/series the paper
+// reports.
+//
+// Scale note: the harness maps the paper's µm window sizes to DBU with
+// UmToDBU (1 paper-µm ≈ 1 placement site horizontally), which keeps window
+// MILPs at the tens-of-cells scale our branch-and-bound solves exactly —
+// the same windows-much-smaller-than-die regime as the paper. Designs are
+// generated at the paper's instance counts by default, with a Scale knob
+// for faster CI-size runs.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vm1place/internal/cells"
+	"vm1place/internal/core"
+	"vm1place/internal/layout"
+	"vm1place/internal/netlist"
+	"vm1place/internal/place"
+	"vm1place/internal/route"
+	"vm1place/internal/sta"
+	"vm1place/internal/tech"
+)
+
+// UmToDBU converts a paper window size in µm to DBU: 1 µm ≈ 1 site
+// (100 DBU) horizontally and 0.4 rows vertically (see package comment).
+func UmToDBU(um float64) int64 { return int64(um * 100) }
+
+// DesignSpec names one benchmark design of the paper (Table 2).
+type DesignSpec struct {
+	Name     string
+	NumInsts int
+	Seed     int64
+}
+
+// PaperDesigns are the four testcases with the paper's instance counts.
+var PaperDesigns = []DesignSpec{
+	{Name: "m0", NumInsts: 9922, Seed: 101},
+	{Name: "aes", NumInsts: 12345, Seed: 102},
+	{Name: "jpeg", NumInsts: 54570, Seed: 103},
+	{Name: "vga", NumInsts: 68606, Seed: 104},
+}
+
+// ScaledDesigns returns the paper designs scaled by factor (min 200
+// instances), for fast benches.
+func ScaledDesigns(scale float64) []DesignSpec {
+	out := make([]DesignSpec, len(PaperDesigns))
+	for i, d := range PaperDesigns {
+		n := int(float64(d.NumInsts) * scale)
+		if n < 200 {
+			n = 200
+		}
+		out[i] = DesignSpec{Name: d.Name, NumInsts: n, Seed: d.Seed}
+	}
+	return out
+}
+
+// FlowConfig drives one full flow run.
+type FlowConfig struct {
+	Arch tech.Arch
+	Util float64
+	// Alpha overrides the default α when > 0 (or exactly when AlphaSet).
+	Alpha    float64
+	AlphaSet bool
+	// Sequence is the metaheuristic queue U (nil: the paper's preferred
+	// (20, 4, 1) single-set sequence).
+	Sequence core.Sequence
+	// MaxOuterIters caps inner iterations per parameter set (ExptA-1
+	// uses 1).
+	MaxOuterIters int
+	// Workers overrides the parallel window count.
+	Workers int
+}
+
+// DefaultSequence is the paper's preferred single parameter set
+// (bw = bh = 20µm, lx = 4, ly = 1) from ExptA-3.
+func DefaultSequence() core.Sequence {
+	return core.Sequence{{BW: UmToDBU(20), BH: UmToDBU(20), LX: 4, LY: 1}}
+}
+
+// Snapshot is the full metric set of one routed placement (one half of a
+// Table 2 row).
+type Snapshot struct {
+	DM1     int
+	M1WL    int64
+	Via12   int
+	HPWL    int64
+	RWL     int64
+	WNS     float64
+	PowerMW float64
+	DRVs    int
+}
+
+// FlowResult is one complete before/after run.
+type FlowResult struct {
+	Design   string
+	NumInsts int
+	Arch     tech.Arch
+	Util     float64
+	Alpha    float64
+
+	Init, Final Snapshot
+	// OptObj holds the optimizer's own objective trace.
+	OptInitial, OptFinal core.Objective
+	// OptRuntime is the VM1Opt wall time; RouteRuntime covers both
+	// routing passes.
+	OptRuntime   time.Duration
+	RouteRuntime time.Duration
+}
+
+// snapshot routes the placement and gathers all metrics.
+func snapshot(p *layout.Placement, arch tech.Arch) (Snapshot, time.Duration) {
+	start := time.Now()
+	r := route.New(p, route.DefaultConfig(p.Tech, arch))
+	m := r.RouteAll()
+	elapsed := time.Since(start)
+	rep := sta.Analyze(p, sta.DefaultConfig(), nil)
+	return Snapshot{
+		DM1:     m.DM1,
+		M1WL:    m.LayerWL[tech.M1],
+		Via12:   m.Via12,
+		HPWL:    p.TotalHPWL(),
+		RWL:     m.RWL,
+		WNS:     rep.WNS,
+		PowerMW: rep.TotalPowerMW,
+		DRVs:    m.Overflow,
+	}, elapsed
+}
+
+// BuildPlaced generates, floorplans, places and legalizes a design.
+func BuildPlaced(spec DesignSpec, arch tech.Arch, util float64) *layout.Placement {
+	t := tech.Default()
+	lib := cells.NewLibrary(t, arch)
+	d := netlist.Generate(lib, netlist.DefaultGenConfig(spec.Name, spec.NumInsts, spec.Seed))
+	p := layout.NewFloorplan(t, d, util)
+	if err := place.Global(p, place.Options{}); err != nil {
+		panic(fmt.Sprintf("expt: global placement failed for %s: %v", spec.Name, err))
+	}
+	return p
+}
+
+// RunFlow executes the full flow on one design: place, route (Init
+// metrics), VM1Opt, reroute (Final metrics).
+func RunFlow(spec DesignSpec, cfg FlowConfig) FlowResult {
+	if cfg.Util == 0 {
+		cfg.Util = 0.75
+	}
+	p := BuildPlaced(spec, cfg.Arch, cfg.Util)
+
+	prm := core.DefaultParams(p.Tech, cfg.Arch)
+	if cfg.AlphaSet || cfg.Alpha > 0 {
+		prm.Alpha = cfg.Alpha
+	}
+	if cfg.MaxOuterIters > 0 {
+		prm.MaxOuterIters = cfg.MaxOuterIters
+	}
+	if cfg.Workers > 0 {
+		prm.Workers = cfg.Workers
+	}
+	seq := cfg.Sequence
+	if seq == nil {
+		seq = DefaultSequence()
+	}
+
+	res := FlowResult{
+		Design:   spec.Name,
+		NumInsts: len(p.Design.Insts),
+		Arch:     cfg.Arch,
+		Util:     cfg.Util,
+		Alpha:    prm.Alpha,
+	}
+
+	var rt time.Duration
+	res.Init, rt = snapshot(p, cfg.Arch)
+	res.RouteRuntime += rt
+
+	opt := core.VM1Opt(p, prm, seq)
+	res.OptInitial = opt.Initial
+	res.OptFinal = opt.Final
+	res.OptRuntime = opt.Duration
+
+	res.Final, rt = snapshot(p, cfg.Arch)
+	res.RouteRuntime += rt
+	return res
+}
+
+// pct formats a percent delta.
+func pct(init, final float64) string {
+	if init == 0 {
+		return "   n/a"
+	}
+	return fmt.Sprintf("%+6.1f", (final-init)/init*100)
+}
+
+// WriteTable2Row prints one Table 2 row.
+func WriteTable2Row(w io.Writer, r FlowResult) {
+	fmt.Fprintf(w,
+		"%-5s %6d %4.0f%% %6.0f | #dM1 %6d -> %6d (%s%%) | M1WL %8.1f -> %8.1f (%s%%) | via12 %6d -> %6d (%s%%) | HPWL %9.1f -> %9.1f (%s%%) | RWL %9.1f -> %9.1f (%s%%) | WNS %6.3f -> %6.3f | P(mW) %7.3f -> %7.3f (%s%%) | opt %5.1fs\n",
+		r.Design, r.NumInsts, r.Util*100, r.Alpha,
+		r.Init.DM1, r.Final.DM1, pct(float64(r.Init.DM1), float64(r.Final.DM1)),
+		um(r.Init.M1WL), um(r.Final.M1WL), pct(float64(r.Init.M1WL), float64(r.Final.M1WL)),
+		r.Init.Via12, r.Final.Via12, pct(float64(r.Init.Via12), float64(r.Final.Via12)),
+		um(r.Init.HPWL), um(r.Final.HPWL), pct(float64(r.Init.HPWL), float64(r.Final.HPWL)),
+		um(r.Init.RWL), um(r.Final.RWL), pct(float64(r.Init.RWL), float64(r.Final.RWL)),
+		r.Init.WNS, r.Final.WNS,
+		r.Init.PowerMW, r.Final.PowerMW, pct(r.Init.PowerMW, r.Final.PowerMW),
+		r.OptRuntime.Seconds(),
+	)
+}
+
+// um converts DBU to µm-equivalent for display.
+func um(dbu int64) float64 { return float64(dbu) / 1000 }
+
+// staDefault, staNetSlacks and staCriticalityBetas thinly wrap internal/sta
+// so experiments files stay free of direct sta imports.
+func staDefault() sta.Config { return sta.DefaultConfig() }
+
+func staNetSlacks(p *layout.Placement, cfg sta.Config) []float64 {
+	return sta.NetSlacks(p, cfg, nil)
+}
+
+func staCriticalityBetas(slacks []float64, period, weight float64) []float64 {
+	return sta.CriticalityBetas(slacks, period, weight)
+}

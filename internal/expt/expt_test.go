@@ -1,0 +1,137 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vm1place/internal/tech"
+)
+
+const testScale = 0.04 // ~500-cell aes for fast tests
+
+func TestUmToDBU(t *testing.T) {
+	if UmToDBU(20) != 2000 {
+		t.Errorf("UmToDBU(20) = %d", UmToDBU(20))
+	}
+}
+
+func TestScaledDesigns(t *testing.T) {
+	s := ScaledDesigns(0.1)
+	if len(s) != len(PaperDesigns) {
+		t.Fatal("wrong count")
+	}
+	if s[1].NumInsts != 1234 {
+		t.Errorf("aes scaled = %d", s[1].NumInsts)
+	}
+	tiny := ScaledDesigns(0.0001)
+	for _, d := range tiny {
+		if d.NumInsts < 200 {
+			t.Errorf("%s below floor: %d", d.Name, d.NumInsts)
+		}
+	}
+}
+
+func TestRunFlowClosedM1(t *testing.T) {
+	cfg := SuiteConfig{Scale: testScale, Workers: 4}
+	r := RunFlow(cfg.design("aes"), FlowConfig{Arch: tech.ClosedM1, MaxOuterIters: 2, Workers: 4})
+	if r.Final.DM1 <= r.Init.DM1 {
+		t.Errorf("dM1 did not increase: %d -> %d", r.Init.DM1, r.Final.DM1)
+	}
+	if r.OptFinal.Alignments <= r.OptInitial.Alignments {
+		t.Errorf("alignments did not increase: %d -> %d",
+			r.OptInitial.Alignments, r.OptFinal.Alignments)
+	}
+	if r.Final.RWL >= r.Init.RWL {
+		t.Errorf("RWL did not decrease: %d -> %d", r.Init.RWL, r.Final.RWL)
+	}
+	var buf bytes.Buffer
+	WriteTable2Row(&buf, r)
+	if !strings.Contains(buf.String(), "aes") {
+		t.Error("row formatting broken")
+	}
+}
+
+func TestRunFlowOpenM1(t *testing.T) {
+	cfg := SuiteConfig{Scale: testScale, Workers: 4}
+	r := RunFlow(cfg.design("aes"), FlowConfig{Arch: tech.OpenM1, MaxOuterIters: 2, Workers: 4})
+	if r.Final.DM1 <= r.Init.DM1 {
+		t.Errorf("OpenM1 dM1 did not increase: %d -> %d", r.Init.DM1, r.Final.DM1)
+	}
+}
+
+func TestFig6AlphaShape(t *testing.T) {
+	cfg := SuiteConfig{Scale: testScale, Workers: 4}
+	pts := RunFig6(cfg, tech.ClosedM1, []float64{0, 1200})
+	if len(pts) != 2 {
+		t.Fatal("wrong point count")
+	}
+	if pts[1].DM1 <= pts[0].DM1 {
+		t.Errorf("alpha=1200 dM1 %d not above alpha=0 dM1 %d", pts[1].DM1, pts[0].DM1)
+	}
+	var buf bytes.Buffer
+	WriteFig6(&buf, tech.ClosedM1, pts)
+	if !strings.Contains(buf.String(), "alpha") {
+		t.Error("fig6 formatting broken")
+	}
+}
+
+func TestFig5Runs(t *testing.T) {
+	cfg := SuiteConfig{Scale: testScale, Workers: 4}
+	pts := RunFig5(cfg, []float64{10, 20}, [][2]int{{3, 1}})
+	if len(pts) != 2 {
+		t.Fatal("wrong point count")
+	}
+	var buf bytes.Buffer
+	WriteFig5(&buf, pts)
+	out := buf.String()
+	if !strings.Contains(out, "window_um") || !strings.Contains(out, "norm_rwl") {
+		t.Error("fig5 formatting broken")
+	}
+}
+
+func TestFig8Runs(t *testing.T) {
+	cfg := SuiteConfig{Scale: testScale, Workers: 4}
+	pts := RunFig8(cfg, []float64{0.75})
+	if len(pts) != 1 {
+		t.Fatal("wrong point count")
+	}
+	var buf bytes.Buffer
+	WriteFig8(&buf, pts)
+	if !strings.Contains(buf.String(), "drv_orig") {
+		t.Error("fig8 formatting broken")
+	}
+}
+
+func TestTimingAwareFlow(t *testing.T) {
+	cfg := SuiteConfig{Scale: testScale, Workers: 4}
+	r := RunTimingAwareFlow(cfg.design("aes"),
+		FlowConfig{Arch: tech.ClosedM1, MaxOuterIters: 1, Workers: 4}, 2.0)
+	if r.Final.DM1 <= 0 {
+		t.Errorf("timing-aware flow produced no dM1: %+v", r.Final)
+	}
+	// Timing must not degrade (the paper's "no adverse timing impact").
+	if r.Final.WNS < r.Init.WNS-0.05 {
+		t.Errorf("timing degraded: WNS %f -> %f", r.Init.WNS, r.Final.WNS)
+	}
+}
+
+func TestTimingAwareBetas(t *testing.T) {
+	cfg := SuiteConfig{Scale: testScale, Workers: 4}
+	betas, err := TimingAwareBetas(cfg.design("aes"), tech.ClosedM1, 0.75, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	above := 0
+	for _, b := range betas {
+		if b < 1 {
+			t.Fatalf("beta %f below 1", b)
+		}
+		if b > 1 {
+			above++
+		}
+	}
+	if above == 0 {
+		t.Error("no critical nets weighted")
+	}
+}

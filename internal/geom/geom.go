@@ -1,0 +1,260 @@
+// Package geom provides the integer geometry primitives used throughout
+// vm1place: points, rectangles and 1-D intervals in database units (DBU),
+// plus the overlap and bounding-box operations that the placement and
+// routing engines are built on.
+//
+// All coordinates are int64 DBU. The package is allocation-free and all
+// types are plain values, so they are safe to copy and to share between
+// goroutines.
+package geom
+
+import "fmt"
+
+// Point is a location in the layout, in DBU.
+type Point struct {
+	X, Y int64
+}
+
+// Add returns the translate of p by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// ManhattanDist returns the L1 distance between p and q.
+func (p Point) ManhattanDist(q Point) int64 {
+	return Abs(p.X-q.X) + Abs(p.Y-q.Y)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Abs returns |v| for int64 v.
+func Abs(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clamp limits v to the inclusive range [lo, hi].
+func Clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Interval is a half-open 1-D range [Lo, Hi). An interval with Hi <= Lo is
+// empty. Intervals are used for pin extents, window projections and routing
+// track spans.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// Len returns the length of the interval (0 if empty).
+func (iv Interval) Len() int64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Contains reports whether x lies in [Lo, Hi).
+func (iv Interval) Contains(x int64) bool { return x >= iv.Lo && x < iv.Hi }
+
+// Intersect returns the intersection of iv and other. The result may be
+// empty.
+func (iv Interval) Intersect(other Interval) Interval {
+	return Interval{Max(iv.Lo, other.Lo), Min(iv.Hi, other.Hi)}
+}
+
+// Overlaps reports whether the two intervals share at least one point.
+func (iv Interval) Overlaps(other Interval) bool {
+	return !iv.Intersect(other).Empty()
+}
+
+// OverlapLen returns the length of the intersection of iv and other, or 0
+// if they are disjoint. This is the o_pq quantity of the paper's OpenM1
+// formulation when applied to pin x-extents.
+func (iv Interval) OverlapLen(other Interval) int64 {
+	return iv.Intersect(other).Len()
+}
+
+// Union returns the smallest interval containing both iv and other. Empty
+// inputs are ignored.
+func (iv Interval) Union(other Interval) Interval {
+	if iv.Empty() {
+		return other
+	}
+	if other.Empty() {
+		return iv
+	}
+	return Interval{Min(iv.Lo, other.Lo), Max(iv.Hi, other.Hi)}
+}
+
+// Shift returns the interval translated by d.
+func (iv Interval) Shift(d int64) Interval { return Interval{iv.Lo + d, iv.Hi + d} }
+
+// Rect is an axis-aligned rectangle with half-open extent
+// [XLo, XHi) x [YLo, YHi). A rectangle with non-positive width or height is
+// empty.
+type Rect struct {
+	XLo, YLo, XHi, YHi int64
+}
+
+// RectFromPoints returns the bounding rectangle of two corner points (in any
+// order), as a closed->half-open box that contains both points' coordinates
+// as its corners.
+func RectFromPoints(a, b Point) Rect {
+	return Rect{Min(a.X, b.X), Min(a.Y, b.Y), Max(a.X, b.X), Max(a.Y, b.Y)}
+}
+
+// Empty reports whether r has no area. Note that a degenerate (zero width or
+// height) rectangle is considered empty.
+func (r Rect) Empty() bool { return r.XHi <= r.XLo || r.YHi <= r.YLo }
+
+// W returns the width of r (0 if inverted).
+func (r Rect) W() int64 { return Max(0, r.XHi-r.XLo) }
+
+// H returns the height of r (0 if inverted).
+func (r Rect) H() int64 { return Max(0, r.YHi-r.YLo) }
+
+// Area returns the area of r.
+func (r Rect) Area() int64 { return r.W() * r.H() }
+
+// HalfPerim returns the half-perimeter (W + H) of r, the HPWL of a
+// two-corner bounding box.
+func (r Rect) HalfPerim() int64 { return r.W() + r.H() }
+
+// XSpan returns the x-projection of r as an interval.
+func (r Rect) XSpan() Interval { return Interval{r.XLo, r.XHi} }
+
+// YSpan returns the y-projection of r as an interval.
+func (r Rect) YSpan() Interval { return Interval{r.YLo, r.YHi} }
+
+// Contains reports whether the point p lies inside the half-open extent of
+// r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.XLo && p.X < r.XHi && p.Y >= r.YLo && p.Y < r.YHi
+}
+
+// ContainsRect reports whether other lies entirely within r.
+func (r Rect) ContainsRect(other Rect) bool {
+	if other.Empty() {
+		return true
+	}
+	return other.XLo >= r.XLo && other.XHi <= r.XHi &&
+		other.YLo >= r.YLo && other.YHi <= r.YHi
+}
+
+// Intersect returns the intersection of r and other (possibly empty).
+func (r Rect) Intersect(other Rect) Rect {
+	return Rect{
+		Max(r.XLo, other.XLo), Max(r.YLo, other.YLo),
+		Min(r.XHi, other.XHi), Min(r.YHi, other.YHi),
+	}
+}
+
+// Overlaps reports whether r and other share interior area.
+func (r Rect) Overlaps(other Rect) bool { return !r.Intersect(other).Empty() }
+
+// Union returns the bounding box of r and other, ignoring empty inputs.
+func (r Rect) Union(other Rect) Rect {
+	if r.Empty() {
+		return other
+	}
+	if other.Empty() {
+		return r
+	}
+	return Rect{
+		Min(r.XLo, other.XLo), Min(r.YLo, other.YLo),
+		Max(r.XHi, other.XHi), Max(r.YHi, other.YHi),
+	}
+}
+
+// Shift returns r translated by (dx, dy).
+func (r Rect) Shift(dx, dy int64) Rect {
+	return Rect{r.XLo + dx, r.YLo + dy, r.XHi + dx, r.YHi + dy}
+}
+
+// Center returns the center point of r (rounded down).
+func (r Rect) Center() Point { return Point{(r.XLo + r.XHi) / 2, (r.YLo + r.YHi) / 2} }
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d)x[%d,%d)", r.XLo, r.XHi, r.YLo, r.YHi)
+}
+
+// BBox accumulates a bounding box over a stream of points. The zero value is
+// an empty box; use Add to extend it. It is the workhorse of HPWL
+// computation.
+type BBox struct {
+	set                bool
+	xlo, ylo, xhi, yhi int64
+}
+
+// Add extends the box to include p.
+func (b *BBox) Add(p Point) {
+	if !b.set {
+		b.set = true
+		b.xlo, b.xhi = p.X, p.X
+		b.ylo, b.yhi = p.Y, p.Y
+		return
+	}
+	if p.X < b.xlo {
+		b.xlo = p.X
+	}
+	if p.X > b.xhi {
+		b.xhi = p.X
+	}
+	if p.Y < b.ylo {
+		b.ylo = p.Y
+	}
+	if p.Y > b.yhi {
+		b.yhi = p.Y
+	}
+}
+
+// Valid reports whether at least one point has been added.
+func (b *BBox) Valid() bool { return b.set }
+
+// HalfPerim returns the half-perimeter wirelength of the accumulated box, or
+// 0 if no points were added.
+func (b *BBox) HalfPerim() int64 {
+	if !b.set {
+		return 0
+	}
+	return (b.xhi - b.xlo) + (b.yhi - b.ylo)
+}
+
+// Rect returns the accumulated box as a closed Rect whose corners are the
+// extreme points (width/height may be zero for degenerate boxes).
+func (b *BBox) Rect() Rect {
+	if !b.set {
+		return Rect{}
+	}
+	return Rect{b.xlo, b.ylo, b.xhi, b.yhi}
+}

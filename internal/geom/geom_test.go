@@ -1,0 +1,284 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOps(t *testing.T) {
+	p := Point{3, 4}
+	q := Point{-1, 2}
+	if got := p.Add(q); got != (Point{2, 6}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{4, 2}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.ManhattanDist(q); got != 6 {
+		t.Errorf("ManhattanDist = %d, want 6", got)
+	}
+	if p.String() != "(3,4)" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestScalarHelpers(t *testing.T) {
+	if Abs(-5) != 5 || Abs(5) != 5 || Abs(0) != 0 {
+		t.Error("Abs broken")
+	}
+	if Min(2, 3) != 2 || Min(3, 2) != 2 {
+		t.Error("Min broken")
+	}
+	if Max(2, 3) != 3 || Max(3, 2) != 3 {
+		t.Error("Max broken")
+	}
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp broken")
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{2, 7}
+	if iv.Empty() || iv.Len() != 5 {
+		t.Fatalf("bad interval basics: %+v", iv)
+	}
+	if !iv.Contains(2) || iv.Contains(7) || !iv.Contains(6) {
+		t.Error("Contains half-open semantics broken")
+	}
+	empty := Interval{5, 5}
+	if !empty.Empty() || empty.Len() != 0 {
+		t.Error("empty interval misreported")
+	}
+	inv := Interval{7, 2}
+	if !inv.Empty() || inv.Len() != 0 {
+		t.Error("inverted interval should be empty with zero length")
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want int64
+	}{
+		{Interval{0, 10}, Interval{5, 15}, 5},
+		{Interval{0, 10}, Interval{10, 20}, 0},
+		{Interval{0, 10}, Interval{12, 20}, 0},
+		{Interval{0, 10}, Interval{2, 4}, 2},
+		{Interval{3, 3}, Interval{0, 10}, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.OverlapLen(c.b); got != c.want {
+			t.Errorf("OverlapLen(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.OverlapLen(c.a); got != c.want {
+			t.Errorf("OverlapLen not symmetric for %v,%v", c.a, c.b)
+		}
+		if (c.want > 0) != c.a.Overlaps(c.b) {
+			t.Errorf("Overlaps(%v,%v) inconsistent with OverlapLen", c.a, c.b)
+		}
+	}
+}
+
+func TestIntervalUnionShift(t *testing.T) {
+	a := Interval{0, 4}
+	b := Interval{10, 12}
+	u := a.Union(b)
+	if u != (Interval{0, 12}) {
+		t.Errorf("Union = %v", u)
+	}
+	if a.Union(Interval{5, 5}) != a {
+		t.Error("Union with empty should be identity")
+	}
+	if (Interval{5, 5}).Union(a) != a {
+		t.Error("Union of empty with a should be a")
+	}
+	if a.Shift(3) != (Interval{3, 7}) {
+		t.Error("Shift broken")
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{0, 0, 10, 5}
+	if r.Empty() || r.W() != 10 || r.H() != 5 || r.Area() != 50 || r.HalfPerim() != 15 {
+		t.Fatalf("bad rect basics: %+v", r)
+	}
+	if !r.Contains(Point{0, 0}) || r.Contains(Point{10, 0}) || r.Contains(Point{0, 5}) {
+		t.Error("Contains half-open semantics broken")
+	}
+	if r.Center() != (Point{5, 2}) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	if (Rect{3, 3, 3, 9}).Empty() != true {
+		t.Error("zero-width rect should be empty")
+	}
+}
+
+func TestRectFromPoints(t *testing.T) {
+	r := RectFromPoints(Point{5, 1}, Point{2, 8})
+	if r != (Rect{2, 1, 5, 8}) {
+		t.Errorf("RectFromPoints = %v", r)
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 15, 15}
+	got := a.Intersect(b)
+	if got != (Rect{5, 5, 10, 10}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !a.Overlaps(b) {
+		t.Error("Overlaps should be true")
+	}
+	c := Rect{10, 0, 20, 10}
+	if a.Overlaps(c) {
+		t.Error("touching rects do not overlap (half-open)")
+	}
+	if u := a.Union(b); u != (Rect{0, 0, 15, 15}) {
+		t.Errorf("Union = %v", u)
+	}
+	if u := a.Union(Rect{}); u != a {
+		t.Error("Union with empty should be identity")
+	}
+	if u := (Rect{}).Union(a); u != a {
+		t.Error("Union of empty with a should be a")
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	outer := Rect{0, 0, 10, 10}
+	if !outer.ContainsRect(Rect{2, 2, 8, 8}) {
+		t.Error("inner rect should be contained")
+	}
+	if outer.ContainsRect(Rect{2, 2, 11, 8}) {
+		t.Error("overhanging rect should not be contained")
+	}
+	if !outer.ContainsRect(Rect{}) {
+		t.Error("empty rect is vacuously contained")
+	}
+}
+
+func TestRectShiftSpans(t *testing.T) {
+	r := Rect{1, 2, 3, 4}
+	if r.Shift(10, 20) != (Rect{11, 22, 13, 24}) {
+		t.Error("Shift broken")
+	}
+	if r.XSpan() != (Interval{1, 3}) || r.YSpan() != (Interval{2, 4}) {
+		t.Error("spans broken")
+	}
+}
+
+func TestBBox(t *testing.T) {
+	var b BBox
+	if b.Valid() || b.HalfPerim() != 0 {
+		t.Error("zero BBox should be invalid with zero HPWL")
+	}
+	b.Add(Point{3, 4})
+	if !b.Valid() || b.HalfPerim() != 0 {
+		t.Error("single-point box should have zero HPWL")
+	}
+	b.Add(Point{-1, 10})
+	if b.HalfPerim() != 4+6 {
+		t.Errorf("HalfPerim = %d, want 10", b.HalfPerim())
+	}
+	r := b.Rect()
+	if r != (Rect{-1, 4, 3, 10}) {
+		t.Errorf("Rect = %v", r)
+	}
+}
+
+// Property: OverlapLen is symmetric, bounded by either length, and agrees
+// with a brute-force count over a small domain.
+func TestIntervalOverlapQuick(t *testing.T) {
+	f := func(a, b, c, d int8) bool {
+		iv1 := Interval{int64(Min(int64(a), int64(b))), int64(Max(int64(a), int64(b)))}
+		iv2 := Interval{int64(Min(int64(c), int64(d))), int64(Max(int64(c), int64(d)))}
+		got := iv1.OverlapLen(iv2)
+		if got != iv2.OverlapLen(iv1) {
+			return false
+		}
+		if got > iv1.Len() || got > iv2.Len() {
+			return false
+		}
+		// brute force over integer points
+		var n int64
+		for x := int64(-128); x < 128; x++ {
+			if iv1.Contains(x) && iv2.Contains(x) {
+				n++
+			}
+		}
+		return n == got
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Manhattan distance is a metric (symmetry, identity, triangle
+// inequality) on a bounded domain.
+func TestManhattanMetricQuick(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point{int64(ax), int64(ay)}
+		b := Point{int64(bx), int64(by)}
+		c := Point{int64(cx), int64(cy)}
+		if a.ManhattanDist(b) != b.ManhattanDist(a) {
+			return false
+		}
+		if a.ManhattanDist(a) != 0 {
+			return false
+		}
+		return a.ManhattanDist(c) <= a.ManhattanDist(b)+b.ManhattanDist(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Rect intersection is commutative and contained in both inputs.
+func TestRectIntersectQuick(t *testing.T) {
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4 int8) bool {
+		a := RectFromPoints(Point{int64(a1), int64(a2)}, Point{int64(a3), int64(a4)})
+		b := RectFromPoints(Point{int64(b1), int64(b2)}, Point{int64(b3), int64(b4)})
+		i1 := a.Intersect(b)
+		i2 := b.Intersect(a)
+		if !i1.Empty() || !i2.Empty() {
+			if i1 != i2 {
+				return false
+			}
+			if !a.ContainsRect(i1) || !b.ContainsRect(i1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BBox half-perimeter equals max-minus-min reduction computed
+// independently.
+func TestBBoxQuick(t *testing.T) {
+	f := func(xs, ys []int16) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n == 0 {
+			return true
+		}
+		var b BBox
+		xlo, xhi := int64(xs[0]), int64(xs[0])
+		ylo, yhi := int64(ys[0]), int64(ys[0])
+		for i := 0; i < n; i++ {
+			x, y := int64(xs[i]), int64(ys[i])
+			b.Add(Point{x, y})
+			xlo, xhi = Min(xlo, x), Max(xhi, x)
+			ylo, yhi = Min(ylo, y), Max(yhi, y)
+		}
+		return b.HalfPerim() == (xhi-xlo)+(yhi-ylo)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,336 @@
+package layout
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vm1place/internal/cells"
+	"vm1place/internal/geom"
+	"vm1place/internal/netlist"
+	"vm1place/internal/tech"
+)
+
+func smallDesign(t *testing.T, arch tech.Arch, n int, seed int64) (*tech.Tech, *netlist.Design) {
+	t.Helper()
+	tc := tech.Default()
+	lib := cells.NewLibrary(tc, arch)
+	return tc, netlist.Generate(lib, netlist.DefaultGenConfig("t", n, seed))
+}
+
+func TestFloorplanUtilization(t *testing.T) {
+	tc, d := smallDesign(t, tech.ClosedM1, 1000, 1)
+	for _, util := range []float64{0.5, 0.75, 0.9} {
+		p := NewFloorplan(tc, d, util)
+		got := p.Utilization()
+		if got > util+1e-9 {
+			t.Errorf("util %f: placement util %f exceeds target", util, got)
+		}
+		if got < util*0.8 {
+			t.Errorf("util %f: placement util %f too loose", util, got)
+		}
+		// Near-square die.
+		w, h := float64(p.DieWidth()), float64(p.DieHeight())
+		if ar := w / h; ar < 0.7 || ar > 1.5 {
+			t.Errorf("util %f: aspect ratio %f not near-square", util, ar)
+		}
+	}
+}
+
+func TestFloorplanPanicsOnBadUtil(t *testing.T) {
+	tc, d := smallDesign(t, tech.ClosedM1, 100, 1)
+	for _, u := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("util %f: expected panic", u)
+				}
+			}()
+			NewFloorplan(tc, d, u)
+		}()
+	}
+}
+
+func TestSpreadEvenLegal(t *testing.T) {
+	tc, d := smallDesign(t, tech.ClosedM1, 1200, 2)
+	p := NewFloorplan(tc, d, 0.75)
+	p.SpreadEven()
+	if err := p.CheckLegal(); err != nil {
+		t.Fatalf("SpreadEven illegal: %v", err)
+	}
+}
+
+func TestCheckLegalDetectsOverlap(t *testing.T) {
+	tc, d := smallDesign(t, tech.ClosedM1, 100, 3)
+	p := NewFloorplan(tc, d, 0.75)
+	p.SpreadEven()
+	// Force two instances onto the same sites.
+	p.SetLoc(1, p.SiteX[0], p.Row[0], false)
+	if p.CheckLegal() == nil {
+		t.Fatal("overlap not detected")
+	}
+}
+
+func TestCheckLegalDetectsOutOfDie(t *testing.T) {
+	tc, d := smallDesign(t, tech.ClosedM1, 100, 3)
+	p := NewFloorplan(tc, d, 0.75)
+	p.SpreadEven()
+	p.SetLoc(0, p.NumSites-1, 0, false) // width >= 2 overflows
+	if p.CheckLegal() == nil {
+		t.Fatal("out-of-die not detected")
+	}
+	p.SpreadEven()
+	p.SetLoc(0, 0, -1, false)
+	if p.CheckLegal() == nil {
+		t.Fatal("negative row not detected")
+	}
+}
+
+func TestInstRect(t *testing.T) {
+	tc, d := smallDesign(t, tech.ClosedM1, 100, 4)
+	p := NewFloorplan(tc, d, 0.75)
+	p.SetLoc(0, 3, 2, false)
+	r := p.InstRect(0)
+	w := d.Insts[0].Master.WidthDBU(tc)
+	want := geom.Rect{XLo: 300, YLo: 500, XHi: 300 + w, YHi: 750}
+	if r != want {
+		t.Errorf("InstRect = %v, want %v", r, want)
+	}
+}
+
+func TestPinPosTracksFlip(t *testing.T) {
+	tc, d := smallDesign(t, tech.ClosedM1, 100, 5)
+	p := NewFloorplan(tc, d, 0.75)
+	p.SpreadEven()
+	// Find a connection whose pin is off-center so flipping moves it.
+	var c netlist.Conn
+	found := false
+	for ni := range d.Nets {
+		d.Nets[ni].ForEachConn(func(cc netlist.Conn) {
+			if found {
+				return
+			}
+			inst := &d.Insts[cc.Inst]
+			pin := &inst.Master.Pins[cc.Pin]
+			ax := cells.AlignX(inst.Master, tc, pin, false)
+			if 2*ax != inst.Master.WidthDBU(tc) {
+				c = cc
+				found = true
+			}
+		})
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Skip("no off-center pin found")
+	}
+	before := p.PinPos(c)
+	p.Flip[c.Inst] = true
+	after := p.PinPos(c)
+	if before.X == after.X {
+		t.Error("flip did not move off-center pin")
+	}
+	if before.Y != after.Y {
+		t.Error("flip changed pin y")
+	}
+}
+
+func TestHPWLManual(t *testing.T) {
+	tc, d := smallDesign(t, tech.ClosedM1, 100, 6)
+	p := NewFloorplan(tc, d, 0.75)
+	p.SpreadEven()
+	// HPWL of every net must equal a brute-force bbox over endpoints.
+	for ni := range d.Nets {
+		if d.Nets[ni].IsClock {
+			continue
+		}
+		var xs, ys []int64
+		d.Nets[ni].ForEachConn(func(c netlist.Conn) {
+			pt := p.PinPos(c)
+			xs = append(xs, pt.X)
+			ys = append(ys, pt.Y)
+		})
+		for pi := range d.Ports {
+			if d.Ports[pi].Net == ni {
+				xs = append(xs, p.PortXY[pi].X)
+				ys = append(ys, p.PortXY[pi].Y)
+			}
+		}
+		if len(xs) == 0 {
+			continue
+		}
+		want := (maxOf(xs) - minOf(xs)) + (maxOf(ys) - minOf(ys))
+		if got := p.NetHPWL(ni); got != want {
+			t.Fatalf("net %d HPWL = %d, want %d", ni, got, want)
+		}
+	}
+}
+
+func maxOf(v []int64) int64 {
+	m := v[0]
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minOf(v []int64) int64 {
+	m := v[0]
+	for _, x := range v {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestTotalHPWLAdditive(t *testing.T) {
+	tc, d := smallDesign(t, tech.ClosedM1, 300, 7)
+	p := NewFloorplan(tc, d, 0.75)
+	p.SpreadEven()
+	var sum int64
+	for ni := range d.Nets {
+		if !d.Nets[ni].IsClock {
+			sum += p.NetHPWL(ni)
+		}
+	}
+	if got := p.TotalHPWL(); got != sum {
+		t.Errorf("TotalHPWL = %d, want %d", got, sum)
+	}
+	if sum <= 0 {
+		t.Error("TotalHPWL should be positive for a spread placement")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tc, d := smallDesign(t, tech.ClosedM1, 200, 8)
+	p := NewFloorplan(tc, d, 0.75)
+	p.SpreadEven()
+	q := p.Clone()
+	q.SetLoc(0, p.SiteX[0]+1, p.Row[0], !p.Flip[0])
+	if p.SiteX[0] == q.SiteX[0] || p.Flip[0] == q.Flip[0] {
+		t.Error("Clone shares mutable state")
+	}
+	q.CopyFrom(p)
+	if q.SiteX[0] != p.SiteX[0] || q.Flip[0] != p.Flip[0] {
+		t.Error("CopyFrom did not restore state")
+	}
+}
+
+func TestOccupancyPlaceRemove(t *testing.T) {
+	tc, d := smallDesign(t, tech.ClosedM1, 50, 9)
+	p := NewFloorplan(tc, d, 0.5)
+	p.SpreadEven()
+	occ := NewOccupancy(p)
+	if err := occ.Place(0); err != nil {
+		t.Fatal(err)
+	}
+	if occ.At(p.Row[0], p.SiteX[0]) != 0 {
+		t.Error("At should report instance 0")
+	}
+	if err := occ.Place(0); err == nil {
+		t.Error("double placement not rejected")
+	}
+	occ.Remove(0)
+	if occ.At(p.Row[0], p.SiteX[0]) != -1 {
+		t.Error("Remove did not clear sites")
+	}
+	if err := occ.Place(0); err != nil {
+		t.Errorf("re-place after remove failed: %v", err)
+	}
+}
+
+func TestOccupancyFreeRun(t *testing.T) {
+	tc, d := smallDesign(t, tech.ClosedM1, 50, 10)
+	p := NewFloorplan(tc, d, 0.5)
+	p.SpreadEven()
+	occ := NewOccupancy(p)
+	w0 := d.Insts[0].Master.WidthSites
+	if !occ.FreeRun(0, 0, w0, -1) {
+		t.Error("empty grid should be free")
+	}
+	if err := occ.Place(0); err != nil {
+		t.Fatal(err)
+	}
+	if occ.FreeRun(p.Row[0], p.SiteX[0], w0, -1) {
+		t.Error("occupied run reported free")
+	}
+	if !occ.FreeRun(p.Row[0], p.SiteX[0], w0, 0) {
+		t.Error("run occupied only by ignored instance should be free")
+	}
+	if occ.FreeRun(-1, 0, 1, -1) || occ.FreeRun(0, -1, 1, -1) ||
+		occ.FreeRun(0, p.NumSites, 1, -1) {
+		t.Error("out-of-die runs must not be free")
+	}
+}
+
+func TestPortsOnBoundary(t *testing.T) {
+	tc, d := smallDesign(t, tech.OpenM1, 400, 11)
+	p := NewFloorplan(tc, d, 0.75)
+	w, h := p.DieWidth(), p.DieHeight()
+	for i, pt := range p.PortXY {
+		onEdge := pt.X == 0 || pt.X == w || pt.Y == 0 || pt.Y == h
+		if !onEdge {
+			t.Errorf("port %s at %v not on die boundary", d.Ports[i].Name, pt)
+		}
+		if pt.X < 0 || pt.X > w || pt.Y < 0 || pt.Y > h {
+			t.Errorf("port %s at %v outside die", d.Ports[i].Name, pt)
+		}
+	}
+}
+
+// Property: moving a single instance changes only the HPWL of nets attached
+// to it (locality of the HPWL model).
+func TestHPWLLocalityQuick(t *testing.T) {
+	tc, d := smallDesign(t, tech.ClosedM1, 150, 12)
+	p := NewFloorplan(tc, d, 0.6)
+	p.SpreadEven()
+	touched := func(inst int) map[int]bool {
+		m := map[int]bool{}
+		for _, ni := range d.Insts[inst].PinNets {
+			if ni >= 0 {
+				m[ni] = true
+			}
+		}
+		return m
+	}
+	before := make([]int64, len(d.Nets))
+	for ni := range d.Nets {
+		before[ni] = p.NetHPWL(ni)
+	}
+	f := func(instRaw uint16, dx int8, flip bool) bool {
+		inst := int(instRaw) % len(d.Insts)
+		q := p.Clone()
+		ns := geom.Clamp(int64(q.SiteX[inst])+int64(dx), 0, int64(q.NumSites-q.Design.Insts[inst].Master.WidthSites))
+		q.SetLoc(inst, int(ns), q.Row[inst], flip)
+		tm := touched(inst)
+		for ni := range d.Nets {
+			if tm[ni] {
+				continue
+			}
+			if q.NetHPWL(ni) != before[ni] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloorplanScalesWithN(t *testing.T) {
+	tc, d1 := smallDesign(t, tech.ClosedM1, 200, 13)
+	_, d2 := smallDesign(t, tech.ClosedM1, 800, 13)
+	p1 := NewFloorplan(tc, d1, 0.75)
+	p2 := NewFloorplan(tc, d2, 0.75)
+	a1 := float64(p1.DieWidth()) * float64(p1.DieHeight())
+	a2 := float64(p2.DieWidth()) * float64(p2.DieHeight())
+	if ratio := a2 / a1; math.Abs(ratio-4) > 1.5 {
+		t.Errorf("die area ratio %f, want ~4 for 4x instances", ratio)
+	}
+}

@@ -1,0 +1,248 @@
+package lefdef
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"vm1place/internal/cells"
+	"vm1place/internal/geom"
+	"vm1place/internal/layout"
+	"vm1place/internal/netlist"
+	"vm1place/internal/tech"
+)
+
+// ParseDEF reads a placed design in the subset written by WriteDEF, binding
+// instances to masters from lib. It reconstructs the netlist (components,
+// pins, nets) and the placement (locations, orientations, die, ports).
+func ParseDEF(r io.Reader, t *tech.Tech, lib *cells.Library) (*layout.Placement, error) {
+	tk := newTokenizer(r)
+	d := &netlist.Design{Lib: lib}
+	var dieW, dieH int64
+	numRows := 0
+
+	instIdx := map[string]int{}
+	netIdx := map[string]int{}
+	type portLoc struct {
+		idx  int
+		x, y int64
+	}
+	var portLocs []portLoc
+
+	type placedInst struct {
+		x, y int64
+		flip bool
+	}
+	var placed []placedInst
+
+	getNet := func(name string) int {
+		if ni, ok := netIdx[name]; ok {
+			return ni
+		}
+		ni := len(d.Nets)
+		d.Nets = append(d.Nets, netlist.Net{Name: name, Driver: netlist.Conn{Inst: -1}})
+		netIdx[name] = ni
+		return ni
+	}
+
+	for {
+		tok := tk.next()
+		if tok == "" {
+			break
+		}
+		switch tok {
+		case "DESIGN":
+			rest := tk.until()
+			if len(rest) > 0 {
+				d.Name = rest[0]
+			}
+		case "DIEAREA":
+			rest := tk.until() // ( 0 0 ) ( w h )
+			var nums []int64
+			for _, r := range rest {
+				if v, err := strconv.ParseInt(r, 10, 64); err == nil {
+					nums = append(nums, v)
+				}
+			}
+			if len(nums) >= 4 {
+				dieW, dieH = nums[2], nums[3]
+			}
+		case "ROW":
+			tk.until()
+			numRows++
+		case "COMPONENTS":
+			tk.until()
+			for {
+				lead := tk.next()
+				if lead == "END" {
+					tk.peekConsume("COMPONENTS")
+					break
+				}
+				if lead != "-" {
+					return nil, fmt.Errorf("lefdef: expected '-' in COMPONENTS, got %q", lead)
+				}
+				rest := tk.until()
+				if len(rest) < 2 {
+					return nil, fmt.Errorf("lefdef: short component line %v", rest)
+				}
+				name, masterName := rest[0], rest[1]
+				master := lib.Master(masterName)
+				if master == nil {
+					return nil, fmt.Errorf("lefdef: unknown master %q", masterName)
+				}
+				inst := netlist.Instance{
+					Name:    name,
+					Master:  master,
+					PinNets: make([]int, len(master.Pins)),
+				}
+				for k := range inst.PinNets {
+					inst.PinNets[k] = -1
+				}
+				var pl placedInst
+				for k := 0; k < len(rest); k++ {
+					if rest[k] == "PLACED" && k+4 < len(rest) {
+						x, err1 := strconv.ParseInt(rest[k+2], 10, 64)
+						y, err2 := strconv.ParseInt(rest[k+3], 10, 64)
+						if err1 != nil || err2 != nil {
+							return nil, fmt.Errorf("lefdef: bad PLACED coords in %v", rest)
+						}
+						pl.x, pl.y = x, y
+						if k+5 < len(rest) && rest[k+5] == "FN" {
+							pl.flip = true
+						}
+					}
+				}
+				instIdx[name] = len(d.Insts)
+				d.Insts = append(d.Insts, inst)
+				placed = append(placed, pl)
+			}
+		case "PINS":
+			tk.until()
+			for {
+				lead := tk.next()
+				if lead == "END" {
+					tk.peekConsume("PINS")
+					break
+				}
+				if lead != "-" {
+					return nil, fmt.Errorf("lefdef: expected '-' in PINS, got %q", lead)
+				}
+				rest := tk.until()
+				if len(rest) < 1 {
+					continue
+				}
+				port := netlist.Port{Name: rest[0]}
+				var px, py int64
+				for k := 0; k < len(rest); k++ {
+					switch rest[k] {
+					case "NET":
+						if k+1 < len(rest) {
+							port.Net = getNet(rest[k+1])
+						}
+					case "DIRECTION":
+						if k+1 < len(rest) {
+							port.Input = rest[k+1] == "INPUT"
+						}
+					case "FIXED":
+						if k+4 < len(rest) {
+							px, _ = strconv.ParseInt(rest[k+2], 10, 64)
+							py, _ = strconv.ParseInt(rest[k+3], 10, 64)
+						}
+					}
+				}
+				portLocs = append(portLocs, portLoc{idx: len(d.Ports), x: px, y: py})
+				d.Ports = append(d.Ports, port)
+			}
+		case "NETS":
+			tk.until()
+			for {
+				lead := tk.next()
+				if lead == "END" {
+					tk.peekConsume("NETS")
+					break
+				}
+				if lead != "-" {
+					return nil, fmt.Errorf("lefdef: expected '-' in NETS, got %q", lead)
+				}
+				rest := tk.until()
+				if len(rest) < 1 {
+					continue
+				}
+				ni := getNet(rest[0])
+				net := &d.Nets[ni]
+				for k := 1; k < len(rest); k++ {
+					if rest[k] != "(" {
+						if rest[k] == "USE" && k+1 < len(rest) && rest[k+1] == "CLOCK" {
+							net.IsClock = true
+						}
+						continue
+					}
+					if k+2 >= len(rest) {
+						return nil, fmt.Errorf("lefdef: truncated net term in %v", rest)
+					}
+					a, b := rest[k+1], rest[k+2]
+					k += 3 // skip "( a b )"
+					if a == "PIN" {
+						continue // port membership is recorded in PINS
+					}
+					ii, ok := instIdx[a]
+					if !ok {
+						return nil, fmt.Errorf("lefdef: net %s references unknown component %q", net.Name, a)
+					}
+					master := d.Insts[ii].Master
+					pinIdx := -1
+					for piX := range master.Pins {
+						if master.Pins[piX].Name == b {
+							pinIdx = piX
+							break
+						}
+					}
+					if pinIdx < 0 {
+						return nil, fmt.Errorf("lefdef: unknown pin %s/%s", master.Name, b)
+					}
+					conn := netlist.Conn{Inst: ii, Pin: pinIdx}
+					if master.Pins[pinIdx].Dir == cells.Output {
+						net.Driver = conn
+					} else {
+						net.Sinks = append(net.Sinks, conn)
+					}
+					d.Insts[ii].PinNets[pinIdx] = ni
+				}
+			}
+		}
+	}
+
+	if dieW <= 0 || dieH <= 0 || numRows == 0 {
+		return nil, fmt.Errorf("lefdef: DEF missing DIEAREA or ROW statements")
+	}
+
+	p := &layout.Placement{
+		Tech:     t,
+		Design:   d,
+		NumSites: int(dieW / t.SiteWidth),
+		NumRows:  numRows,
+		SiteX:    make([]int, len(d.Insts)),
+		Row:      make([]int, len(d.Insts)),
+		Flip:     make([]bool, len(d.Insts)),
+		PortXY:   make([]geom.Point, len(d.Ports)),
+	}
+	for i, pl := range placed {
+		p.SiteX[i] = t.XToSite(pl.x)
+		p.Row[i] = t.YToRow(pl.y)
+		p.Flip[i] = pl.flip
+	}
+	for _, pl := range portLocs {
+		p.PortXY[pl.idx] = geom.Point{X: pl.x, Y: pl.y}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("lefdef: parsed design invalid: %v", err)
+	}
+	return p, nil
+}
+
+// peekConsume consumes the next token when it equals want.
+func (tk *tokenizer) peekConsume(want string) {
+	if tk.peek() == want {
+		tk.next()
+	}
+}

@@ -1,0 +1,190 @@
+package lefdef
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vm1place/internal/cells"
+	"vm1place/internal/layout"
+	"vm1place/internal/netlist"
+	"vm1place/internal/place"
+	"vm1place/internal/tech"
+)
+
+func buildPlaced(t *testing.T, arch tech.Arch, n int) (*tech.Tech, *cells.Library, *layout.Placement) {
+	t.Helper()
+	tc := tech.Default()
+	lib := cells.NewLibrary(tc, arch)
+	d := netlist.Generate(lib, netlist.DefaultGenConfig("io", n, 71))
+	p := layout.NewFloorplan(tc, d, 0.7)
+	if err := place.Global(p, place.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a few instances so orientation round-trips are exercised.
+	for i := 0; i < len(d.Insts); i += 7 {
+		p.Flip[i] = true
+	}
+	return tc, lib, p
+}
+
+func TestLEFRoundTrip(t *testing.T) {
+	for _, arch := range []tech.Arch{tech.ClosedM1, tech.OpenM1} {
+		tc := tech.Default()
+		lib := cells.NewLibrary(tc, arch)
+		var buf bytes.Buffer
+		if err := WriteLEF(&buf, lib); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseLEF(&buf, tc)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		if got.Arch != arch {
+			t.Errorf("%s: parsed arch = %s", arch, got.Arch)
+		}
+		if len(got.Masters) != len(lib.Masters) {
+			t.Fatalf("%s: %d masters, want %d", arch, len(got.Masters), len(lib.Masters))
+		}
+		for _, want := range lib.Masters {
+			m := got.Master(want.Name)
+			if m == nil {
+				t.Fatalf("%s: master %s lost", arch, want.Name)
+			}
+			if m.WidthSites != want.WidthSites {
+				t.Errorf("%s/%s: width %d, want %d", arch, m.Name, m.WidthSites, want.WidthSites)
+			}
+			if len(m.Pins) != len(want.Pins) {
+				t.Fatalf("%s/%s: %d pins, want %d", arch, m.Name, len(m.Pins), len(want.Pins))
+			}
+			for pi := range want.Pins {
+				wp, gp := &want.Pins[pi], &m.Pins[pi]
+				if wp.Name != gp.Name || wp.Dir != gp.Dir {
+					t.Errorf("%s/%s: pin %d = %s/%s, want %s/%s",
+						arch, m.Name, pi, gp.Name, gp.Dir, wp.Name, wp.Dir)
+				}
+				if len(wp.Shapes) != len(gp.Shapes) {
+					t.Fatalf("%s/%s/%s: %d shapes, want %d",
+						arch, m.Name, wp.Name, len(gp.Shapes), len(wp.Shapes))
+				}
+				for si := range wp.Shapes {
+					if wp.Shapes[si] != gp.Shapes[si] {
+						t.Errorf("%s/%s/%s: shape %d = %+v, want %+v",
+							arch, m.Name, wp.Name, si, gp.Shapes[si], wp.Shapes[si])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDEFRoundTrip(t *testing.T) {
+	tc, lib, p := buildPlaced(t, tech.ClosedM1, 300)
+	var buf bytes.Buffer
+	if err := WriteDEF(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseDEF(&buf, tc, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumSites != p.NumSites || q.NumRows != p.NumRows {
+		t.Errorf("die mismatch: %dx%d vs %dx%d", q.NumSites, q.NumRows, p.NumSites, p.NumRows)
+	}
+	if len(q.Design.Insts) != len(p.Design.Insts) {
+		t.Fatalf("instance count mismatch")
+	}
+	for i := range p.Design.Insts {
+		if q.SiteX[i] != p.SiteX[i] || q.Row[i] != p.Row[i] || q.Flip[i] != p.Flip[i] {
+			t.Fatalf("inst %d placement mismatch: (%d,%d,%v) vs (%d,%d,%v)",
+				i, q.SiteX[i], q.Row[i], q.Flip[i], p.SiteX[i], p.Row[i], p.Flip[i])
+		}
+		if q.Design.Insts[i].Master.Name != p.Design.Insts[i].Master.Name {
+			t.Fatalf("inst %d master mismatch", i)
+		}
+	}
+	if got, want := q.TotalHPWL(), p.TotalHPWL(); got != want {
+		t.Errorf("HPWL after round trip = %d, want %d", got, want)
+	}
+	// Clock net must survive.
+	foundClock := false
+	for ni := range q.Design.Nets {
+		if q.Design.Nets[ni].IsClock {
+			foundClock = true
+		}
+	}
+	if !foundClock {
+		t.Error("clock net lost in round trip")
+	}
+	if err := q.CheckLegal(); err != nil {
+		t.Errorf("round-tripped placement illegal: %v", err)
+	}
+}
+
+func TestDEFRoundTripOpenM1(t *testing.T) {
+	tc, lib, p := buildPlaced(t, tech.OpenM1, 250)
+	var buf bytes.Buffer
+	if err := WriteDEF(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseDEF(&buf, tc, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := q.TotalHPWL(), p.TotalHPWL(); got != want {
+		t.Errorf("HPWL after round trip = %d, want %d", got, want)
+	}
+}
+
+func TestParseDEFErrors(t *testing.T) {
+	tc := tech.Default()
+	lib := cells.NewLibrary(tc, tech.ClosedM1)
+	cases := []string{
+		"",                              // empty
+		"DESIGN x ;\nEND DESIGN\n",      // no die
+		"DIEAREA ( 0 0 ) ( 100 100 ) ;", // no rows
+		"DIEAREA ( 0 0 ) ( 1000 1000 ) ;\nROW r coreSite 0 0 N DO 10 BY 1 STEP 100 0 ;\nCOMPONENTS 1 ;\n- u1 NOPE + PLACED ( 0 0 ) N ;\nEND COMPONENTS\n",
+	}
+	for i, src := range cases {
+		if _, err := ParseDEF(strings.NewReader(src), tc, lib); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestParseLEFErrors(t *testing.T) {
+	tc := tech.Default()
+	bad := "MACRO X\n PIN A\n DIRECTION INPUT ;\n PORT\n LAYER M9 ;\n RECT 0 0 1 1 ;\n END\n END A\nEND X\n"
+	if _, err := ParseLEF(strings.NewReader(bad), tc); err == nil {
+		t.Error("unknown layer not rejected")
+	}
+}
+
+func TestLEFContainsExpectedSections(t *testing.T) {
+	tc := tech.Default()
+	lib := cells.NewLibrary(tc, tech.ClosedM1)
+	var buf bytes.Buffer
+	if err := WriteLEF(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"VERSION 5.7", "SITE coreSite", "MACRO INV_X1", "PIN ZN", "END LIBRARY"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LEF missing %q", want)
+		}
+	}
+}
+
+func TestDEFContainsExpectedSections(t *testing.T) {
+	_, _, p := buildPlaced(t, tech.ClosedM1, 200)
+	var buf bytes.Buffer
+	if err := WriteDEF(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"VERSION 5.7", "DIEAREA", "COMPONENTS", "END COMPONENTS", "PINS", "NETS", "END DESIGN", "USE CLOCK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DEF missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,669 @@
+// Package lp implements a bounded-variable revised primal simplex solver
+// for linear programs in the form
+//
+//	minimize    cᵀx
+//	subject to  aᵢᵀx {≤,=,≥} bᵢ   for every row i
+//	            lo ≤ x ≤ hi       (bounds may be ±Inf)
+//
+// It is the LP engine underneath internal/milp, which together replace the
+// CPLEX solver of the DAC'17 paper. The implementation keeps a dense
+// explicit basis inverse with eta-style pivot updates and sparse constraint
+// columns, which is efficient at the window-MILP scale of the paper's
+// distributable optimization (hundreds of rows and columns).
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is a linear constraint's relational operator.
+type Sense int8
+
+const (
+	LE Sense = iota // aᵀx ≤ b
+	GE              // aᵀx ≥ b
+	EQ              // aᵀx = b
+)
+
+// String implements fmt.Stringer.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Sense(%d)", int8(s))
+	}
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Term is one coefficient of a constraint row.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+type entry struct {
+	row int
+	val float64
+}
+
+// Model is a mutable LP. Build with AddVar/AddRow, then call Solve. A Model
+// may be solved repeatedly (e.g., with different bounds from a
+// branch-and-bound driver); Solve does not mutate the model.
+type Model struct {
+	obj   []float64
+	lo    []float64
+	hi    []float64
+	names []string
+
+	sense []Sense
+	rhs   []float64
+	// cols[j] holds the sparse column of structural variable j.
+	cols [][]entry
+
+	// MaxIters bounds simplex iterations per phase; 0 means automatic.
+	MaxIters int
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// NumVars returns the number of structural variables.
+func (m *Model) NumVars() int { return len(m.obj) }
+
+// NumRows returns the number of constraints.
+func (m *Model) NumRows() int { return len(m.rhs) }
+
+// AddVar adds a variable with bounds [lo, hi] and objective coefficient
+// obj, returning its index. Use math.Inf for unbounded sides.
+func (m *Model) AddVar(lo, hi, obj float64, name string) int {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable %q has lo %g > hi %g", name, lo, hi))
+	}
+	m.obj = append(m.obj, obj)
+	m.lo = append(m.lo, lo)
+	m.hi = append(m.hi, hi)
+	m.names = append(m.names, name)
+	m.cols = append(m.cols, nil)
+	return len(m.obj) - 1
+}
+
+// SetObj overwrites the objective coefficient of variable j.
+func (m *Model) SetObj(j int, c float64) { m.obj[j] = c }
+
+// Bounds returns copies of the variable bound vectors, for branch-and-bound
+// drivers that solve with tightened bounds.
+func (m *Model) Bounds() (lo, hi []float64) {
+	lo = append([]float64(nil), m.lo...)
+	hi = append([]float64(nil), m.hi...)
+	return lo, hi
+}
+
+// VarName returns the name of variable j.
+func (m *Model) VarName(j int) string { return m.names[j] }
+
+// AddRow adds the constraint Σ terms {sense} rhs and returns its row index.
+// Duplicate variables within terms are merged; zero coefficients dropped.
+func (m *Model) AddRow(sense Sense, rhs float64, terms ...Term) int {
+	r := len(m.rhs)
+	m.sense = append(m.sense, sense)
+	m.rhs = append(m.rhs, rhs)
+	merged := map[int]float64{}
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(m.obj) {
+			panic(fmt.Sprintf("lp: row %d references unknown variable %d", r, t.Var))
+		}
+		merged[t.Var] += t.Coef
+	}
+	for j, v := range merged {
+		if v != 0 {
+			m.cols[j] = append(m.cols[j], entry{row: r, val: v})
+		}
+	}
+	return r
+}
+
+// Solution is the result of a Solve.
+type Solution struct {
+	Status Status
+	Obj    float64
+	// X holds structural variable values (valid when Status is Optimal or
+	// IterLimit).
+	X     []float64
+	Iters int
+}
+
+// Solve optimizes the model with its stored bounds.
+func (m *Model) Solve() *Solution { return m.SolveWithBounds(nil, nil) }
+
+// SolveWithBounds optimizes with per-variable bound overrides. nil slices
+// mean "use the model's bounds"; otherwise the slices must have NumVars
+// entries. The model itself is not modified.
+func (m *Model) SolveWithBounds(lo, hi []float64) *Solution {
+	return m.SolveWithHint(lo, hi, nil)
+}
+
+// SolveWithHint additionally accepts a warm-start hint: each structural
+// variable starts nonbasic at the bound nearest its hint value (when that
+// bound is finite). A hint near a feasible point — e.g. a known incumbent
+// in branch and bound — drastically shortens phase 1. Hints never affect
+// correctness, only the starting basis.
+func (m *Model) SolveWithHint(lo, hi, hint []float64) *Solution {
+	if lo == nil {
+		lo = m.lo
+	}
+	if hi == nil {
+		hi = m.hi
+	}
+	if len(lo) != len(m.obj) || len(hi) != len(m.obj) {
+		panic("lp: bound override length mismatch")
+	}
+	if hint != nil && len(hint) != len(m.obj) {
+		panic("lp: hint length mismatch")
+	}
+	s := newSimplex(m, lo, hi)
+	s.hint = hint
+	return s.solve()
+}
+
+const (
+	feasTol  = 1e-7
+	pivotTol = 1e-9
+	costTol  = 1e-9
+)
+
+// varState tracks where a variable currently sits.
+type varState int8
+
+const (
+	atLower varState = iota
+	atUpper
+	basic
+)
+
+// simplex is one solve's working state. Total variables are structural
+// (0..n-1), then slacks (n..n+m-1), then artificials (n+m..n+2m-1).
+type simplex struct {
+	m *Model
+
+	nStruct int
+	nRows   int
+	nTotal  int
+
+	cols  [][]entry // sparse columns for all variables
+	objP2 []float64
+	lo    []float64
+	hi    []float64
+	rhs   []float64
+
+	state      []varState
+	xN         []float64 // value of each nonbasic variable (at a bound)
+	basis      []int     // basis[i] = variable basic in row i
+	inBasisRow []int     // inverse of basis: row of a basic var, or -1
+	binv       []float64 // dense nRows x nRows row-major basis inverse
+	xB         []float64 // values of basic variables by row
+
+	maxIters int
+
+	// hint holds preferred starting values for structural variables.
+	hint []float64
+	// colNorm caches per-column Euclidean norms for scaled pricing.
+	colNorm []float64
+}
+
+func newSimplex(m *Model, lo, hi []float64) *simplex {
+	n := m.NumVars()
+	rows := m.NumRows()
+	s := &simplex{
+		m:       m,
+		nStruct: n,
+		nRows:   rows,
+		nTotal:  n + 2*rows,
+	}
+	s.cols = make([][]entry, s.nTotal)
+	copy(s.cols, m.cols)
+	s.objP2 = make([]float64, s.nTotal)
+	copy(s.objP2, m.obj)
+	s.lo = make([]float64, s.nTotal)
+	s.hi = make([]float64, s.nTotal)
+	copy(s.lo, lo)
+	copy(s.hi, hi)
+	s.rhs = append([]float64(nil), m.rhs...)
+	// Deterministic tiny RHS perturbation breaks the heavy primal
+	// degeneracy of assignment-structured models (thousands of stalled
+	// pivots otherwise). The shift is ~1e-9 of the problem scale, far
+	// below integrality and pruning tolerances.
+	scale := 1.0
+	for _, b := range s.rhs {
+		if math.Abs(b) > scale {
+			scale = math.Abs(b)
+		}
+	}
+	for i := range s.rhs {
+		h := uint64(i+1) * 0x9E3779B97F4A7C15
+		s.rhs[i] += 1e-9 * scale * (float64(h%1024)/1024.0 + 0.1)
+	}
+
+	// Slacks: row i gets slack n+i with bounds by sense.
+	for i := 0; i < rows; i++ {
+		j := n + i
+		s.cols[j] = []entry{{row: i, val: 1}}
+		switch m.sense[i] {
+		case LE:
+			s.lo[j], s.hi[j] = 0, math.Inf(1)
+		case GE:
+			s.lo[j], s.hi[j] = math.Inf(-1), 0
+		case EQ:
+			s.lo[j], s.hi[j] = 0, 0
+		}
+	}
+	// Artificials: row i gets n+rows+i; bounds set during phase 1 setup.
+	for i := 0; i < rows; i++ {
+		j := n + rows + i
+		s.cols[j] = []entry{{row: i, val: 1}}
+		s.lo[j], s.hi[j] = 0, 0
+	}
+
+	s.maxIters = m.MaxIters
+	if s.maxIters == 0 {
+		s.maxIters = 200*(rows+n) + 2000
+	}
+	return s
+}
+
+// boundedStart returns the starting value for a nonbasic variable,
+// honoring the warm-start hint for structural variables.
+func (s *simplex) boundedStart(j int) (float64, varState) {
+	loOK := !math.IsInf(s.lo[j], -1)
+	hiOK := !math.IsInf(s.hi[j], 1)
+	if s.hint != nil && j < s.nStruct && loOK && hiOK {
+		if s.hint[j]-s.lo[j] > s.hi[j]-s.hint[j] {
+			return s.hi[j], atUpper
+		}
+		return s.lo[j], atLower
+	}
+	switch {
+	case loOK:
+		return s.lo[j], atLower
+	case hiOK:
+		return s.hi[j], atUpper
+	default:
+		// Free variable: park at 0, treated as atLower with -inf bound;
+		// pricing handles both directions via reduced-cost sign.
+		return 0, atLower
+	}
+}
+
+func (s *simplex) solve() *Solution {
+	n, rows := s.nStruct, s.nRows
+
+	s.state = make([]varState, s.nTotal)
+	s.xN = make([]float64, s.nTotal)
+	s.basis = make([]int, rows)
+	s.inBasisRow = make([]int, s.nTotal)
+	for j := range s.inBasisRow {
+		s.inBasisRow[j] = -1
+	}
+	s.binv = make([]float64, rows*rows)
+	s.xB = make([]float64, rows)
+
+	// All structural and slack variables start nonbasic at a bound.
+	for j := 0; j < n+rows; j++ {
+		v, st := s.boundedStart(j)
+		s.xN[j] = v
+		s.state[j] = st
+	}
+
+	// Residuals with all structural and slack variables at their starting
+	// bounds.
+	resid := make([]float64, rows)
+	copy(resid, s.rhs)
+	for j := 0; j < n+rows; j++ {
+		if s.xN[j] == 0 {
+			continue
+		}
+		for _, e := range s.cols[j] {
+			resid[e.row] -= e.val * s.xN[j]
+		}
+	}
+
+	// Crash basis: a row whose residual fits inside its slack's bounds
+	// gets the slack as its (feasible) basic variable; only the violated
+	// rows receive a unit-cost artificial. With a good warm-start hint,
+	// most rows start feasible and phase 1 is short or skipped entirely.
+	phase1Obj := make([]float64, s.nTotal)
+	needPhase1 := false
+	for i := 0; i < rows; i++ {
+		sj := n + i
+		aj := n + rows + i
+		s.binv[i*rows+i] = 1
+		if resid[i] >= s.lo[sj]-feasTol && resid[i] <= s.hi[sj]+feasTol {
+			s.basis[i] = sj
+			s.inBasisRow[sj] = i
+			s.state[sj] = basic
+			s.xB[i] = resid[i]
+			// Artificial stays fixed at zero.
+			s.lo[aj], s.hi[aj] = 0, 0
+			continue
+		}
+		s.basis[i] = aj
+		s.inBasisRow[aj] = i
+		s.state[aj] = basic
+		s.xB[i] = resid[i]
+		if resid[i] >= 0 {
+			s.lo[aj], s.hi[aj] = 0, math.Inf(1)
+			phase1Obj[aj] = 1
+		} else {
+			s.lo[aj], s.hi[aj] = math.Inf(-1), 0
+			phase1Obj[aj] = -1
+		}
+		needPhase1 = true
+	}
+
+	totalIters := 0
+	if needPhase1 {
+		st, it := s.iterate(phase1Obj, true)
+		totalIters += it
+		if st == IterLimit {
+			return &Solution{Status: IterLimit, Iters: totalIters, X: s.extractX()}
+		}
+		if s.phase1Value(phase1Obj) > 1e-6 {
+			return &Solution{Status: Infeasible, Iters: totalIters}
+		}
+	}
+
+	// Fix artificials to zero for phase 2. Any artificial still basic sits
+	// at value ~0; clamping its bounds to [0,0] keeps it there.
+	for i := 0; i < rows; i++ {
+		j := n + rows + i
+		s.lo[j], s.hi[j] = 0, 0
+		if s.state[j] != basic {
+			s.xN[j] = 0
+		}
+	}
+
+	st, it := s.iterate(s.objP2, false)
+	totalIters += it
+	x := s.extractX()
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += s.objP2[j] * x[j]
+	}
+	switch st {
+	case Unbounded:
+		return &Solution{Status: Unbounded, Iters: totalIters}
+	case IterLimit:
+		return &Solution{Status: IterLimit, Obj: obj, X: x, Iters: totalIters}
+	default:
+		return &Solution{Status: Optimal, Obj: obj, X: x, Iters: totalIters}
+	}
+}
+
+func (s *simplex) phase1Value(obj []float64) float64 {
+	v := 0.0
+	for i, j := range s.basis {
+		v += obj[j] * s.xB[i]
+	}
+	for j := 0; j < s.nTotal; j++ {
+		if s.state[j] != basic && obj[j] != 0 {
+			v += obj[j] * s.xN[j]
+		}
+	}
+	return math.Abs(v)
+}
+
+// extractX reads the structural solution.
+func (s *simplex) extractX() []float64 {
+	x := make([]float64, s.nStruct)
+	for j := 0; j < s.nStruct; j++ {
+		if r := s.inBasisRow[j]; r >= 0 {
+			x[j] = s.xB[r]
+		} else {
+			x[j] = s.xN[j]
+		}
+	}
+	return x
+}
+
+// iterate runs primal simplex with the given objective until optimality,
+// unboundedness or the iteration cap. When stopAtZero is set (phase 1),
+// iteration ends as soon as the objective reaches zero.
+func (s *simplex) iterate(obj []float64, stopAtZero bool) (Status, int) {
+	rows := s.nRows
+	y := make([]float64, rows)
+	w := make([]float64, rows)
+	iters := 0
+	degenerate := 0
+
+	// Static steepest-edge-style pricing weights: reduced costs are
+	// compared after scaling by column norm, which keeps huge-coefficient
+	// columns (big-G indicator rows, DBU-scale coordinates) from starving
+	// the cheap structural pivots.
+	if s.colNorm == nil {
+		s.colNorm = make([]float64, s.nTotal)
+		for j := 0; j < s.nTotal; j++ {
+			sum := 1.0
+			for _, e := range s.cols[j] {
+				sum += e.val * e.val
+			}
+			s.colNorm[j] = math.Sqrt(sum)
+		}
+	}
+
+	for ; iters < s.maxIters; iters++ {
+		if stopAtZero {
+			v := 0.0
+			for i := 0; i < rows; i++ {
+				if c := obj[s.basis[i]]; c != 0 {
+					v += c * s.xB[i]
+				}
+			}
+			if v < 1e-7 {
+				return Optimal, iters
+			}
+		}
+		// y = c_B^T * Binv
+		for i := 0; i < rows; i++ {
+			y[i] = 0
+		}
+		for i := 0; i < rows; i++ {
+			cb := obj[s.basis[i]]
+			if cb == 0 {
+				continue
+			}
+			row := s.binv[i*rows : (i+1)*rows]
+			for k := 0; k < rows; k++ {
+				y[k] += cb * row[k]
+			}
+		}
+
+		// Pricing: pick entering variable. Dantzig rule normally; Bland
+		// after a run of degenerate pivots to guarantee termination.
+		useBland := degenerate > 2*rows+20
+		enter := -1
+		var enterDir float64
+		best := -costTol
+		for j := 0; j < s.nTotal; j++ {
+			if s.state[j] == basic {
+				continue
+			}
+			if s.lo[j] == s.hi[j] && !math.IsInf(s.lo[j], 0) {
+				continue // fixed variable
+			}
+			d := obj[j]
+			for _, e := range s.cols[j] {
+				d -= y[e.row] * e.val
+			}
+			// Effective improving direction.
+			var dir float64
+			switch {
+			case s.state[j] == atLower && d < -costTol:
+				dir = 1
+			case s.state[j] == atUpper && d > costTol:
+				dir = -1
+			case s.state[j] == atLower && math.IsInf(s.lo[j], -1) && d > costTol:
+				// Free variable parked at 0 can also decrease.
+				dir = -1
+			default:
+				continue
+			}
+			score := -math.Abs(d) / s.colNorm[j]
+			if useBland {
+				enter = j
+				enterDir = dir
+				break
+			}
+			if score < best {
+				best = score
+				enter = j
+				enterDir = dir
+			}
+		}
+		if enter == -1 {
+			return Optimal, iters
+		}
+
+		// w = Binv * A_enter
+		for i := 0; i < rows; i++ {
+			w[i] = 0
+		}
+		for _, e := range s.cols[enter] {
+			v := e.val
+			for i := 0; i < rows; i++ {
+				w[i] += v * s.binv[i*rows+e.row]
+			}
+		}
+
+		// Ratio test: entering moves by t ≥ 0 in direction enterDir;
+		// basic i changes by -enterDir * t * w[i].
+		tMax := math.Inf(1)
+		leave := -1 // row index leaving, or -1 for bound flip
+		leaveToUpper := false
+		if !math.IsInf(s.lo[enter], -1) && !math.IsInf(s.hi[enter], 1) {
+			tMax = s.hi[enter] - s.lo[enter]
+		}
+		for i := 0; i < rows; i++ {
+			if math.Abs(w[i]) < pivotTol {
+				continue
+			}
+			delta := -enterDir * w[i] // basic i moves by delta per unit t
+			var lim float64
+			var toUpper bool
+			if delta < 0 {
+				if math.IsInf(s.lo[s.basis[i]], -1) {
+					continue
+				}
+				lim = (s.xB[i] - s.lo[s.basis[i]]) / -delta
+				toUpper = false
+			} else {
+				if math.IsInf(s.hi[s.basis[i]], 1) {
+					continue
+				}
+				lim = (s.hi[s.basis[i]] - s.xB[i]) / delta
+				toUpper = true
+			}
+			if lim < 0 {
+				lim = 0
+			}
+			if lim < tMax {
+				tMax = lim
+				leave = i
+				leaveToUpper = toUpper
+			}
+		}
+
+		if math.IsInf(tMax, 1) {
+			return Unbounded, iters
+		}
+		if tMax < feasTol {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+
+		// Apply the step.
+		enterVal := s.xN[enter] + enterDir*tMax
+		for i := 0; i < rows; i++ {
+			s.xB[i] -= enterDir * tMax * w[i]
+		}
+
+		if leave == -1 {
+			// Bound flip: entering moves bound-to-bound, basis unchanged.
+			s.xN[enter] = enterVal
+			if enterDir > 0 {
+				s.state[enter] = atUpper
+			} else {
+				s.state[enter] = atLower
+			}
+			continue
+		}
+
+		// Pivot: basis[leave] exits to a bound, enter becomes basic.
+		out := s.basis[leave]
+		s.inBasisRow[out] = -1
+		if leaveToUpper {
+			s.state[out] = atUpper
+			s.xN[out] = s.hi[out]
+		} else {
+			s.state[out] = atLower
+			s.xN[out] = s.lo[out]
+		}
+		s.basis[leave] = enter
+		s.inBasisRow[enter] = leave
+		s.state[enter] = basic
+		s.xB[leave] = enterVal
+
+		// Eta update of Binv: divide pivot row by w[leave], eliminate
+		// elsewhere.
+		piv := w[leave]
+		prow := s.binv[leave*rows : (leave+1)*rows]
+		inv := 1 / piv
+		for k := 0; k < rows; k++ {
+			prow[k] *= inv
+		}
+		for i := 0; i < rows; i++ {
+			if i == leave {
+				continue
+			}
+			f := w[i]
+			if f == 0 {
+				continue
+			}
+			row := s.binv[i*rows : (i+1)*rows]
+			for k := 0; k < rows; k++ {
+				row[k] -= f * prow[k]
+			}
+		}
+	}
+	return IterLimit, iters
+}

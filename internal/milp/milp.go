@@ -1,0 +1,333 @@
+// Package milp implements a branch-and-bound mixed-integer linear
+// programming solver over the internal/lp simplex. Together they replace
+// the CPLEX 12.6.3 solver of the DAC'17 paper's flow.
+//
+// The solver is tuned for the structure of the paper's window MILPs:
+// candidate-selection binaries organized in "exactly one per cell" groups
+// (the SCP model of Li & Koh), plus indicator binaries coupled through
+// big-G rows. Callers can register the groups to enable balanced
+// group-splitting branching, provide an incumbent (the input placement is
+// always feasible), and bound the search with node and time budgets —
+// mirroring how a CPLEX run would be time-limited per window.
+package milp
+
+import (
+	"math"
+	"time"
+
+	"vm1place/internal/lp"
+)
+
+// intTol is the integrality tolerance: values within intTol of an integer
+// are considered integral.
+const intTol = 1e-6
+
+// Status reports the outcome of a MILP solve.
+type Status int
+
+const (
+	// Optimal: search completed; the incumbent is proven optimal.
+	Optimal Status = iota
+	// Feasible: a budget was exhausted; the incumbent is feasible but not
+	// proven optimal.
+	Feasible
+	// Infeasible: search completed without finding any integer solution.
+	Infeasible
+	// Limit: a budget was exhausted before any integer solution was found.
+	Limit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Limit:
+		return "limit"
+	default:
+		return "unknown"
+	}
+}
+
+// Model is a MILP: an LP plus integrality requirements.
+type Model struct {
+	LP *lp.Model
+	// Ints lists variables that must take integer values.
+	Ints []int
+	// Groups are disjoint sets of binary variables with an "exactly one"
+	// constraint (the caller must also have added the Σ=1 row to LP).
+	// They enable group-splitting branching.
+	Groups [][]int
+}
+
+// NewModel wraps an LP model.
+func NewModel(m *lp.Model) *Model { return &Model{LP: m} }
+
+// MarkInt requires variable j to be integral.
+func (m *Model) MarkInt(j int) { m.Ints = append(m.Ints, j) }
+
+// AddGroup registers an exactly-one binary group for branching and marks
+// its members integral.
+func (m *Model) AddGroup(vars []int) {
+	g := append([]int(nil), vars...)
+	m.Groups = append(m.Groups, g)
+	m.Ints = append(m.Ints, g...)
+}
+
+// Params bounds the search.
+type Params struct {
+	// MaxNodes caps branch-and-bound nodes (0: 100000).
+	MaxNodes int
+	// TimeLimit caps wall time (0: none).
+	TimeLimit time.Duration
+	// AbsGap prunes nodes whose LP bound is within AbsGap of the
+	// incumbent (0: 1e-6).
+	AbsGap float64
+	// Incumbent, when non-nil, is a feasible integral starting solution
+	// with objective IncumbentObj; it seeds pruning.
+	Incumbent    []float64
+	IncumbentObj float64
+	// Rounder, when non-nil, attempts to repair a fractional LP solution
+	// into a feasible integral one, returning the repaired vector, its
+	// true objective, and ok. Used as a primal heuristic at every node.
+	Rounder func(x []float64) ([]float64, float64, bool)
+}
+
+// Result is the outcome of a Solve.
+type Result struct {
+	Status Status
+	// Obj and X describe the incumbent (valid unless Status is Infeasible
+	// or Limit).
+	Obj   float64
+	X     []float64
+	Nodes int
+	// BestBound is the proven lower bound on the optimum.
+	BestBound float64
+}
+
+type solver struct {
+	m        *Model
+	p        Params
+	deadline time.Time
+	hasDL    bool
+
+	inGroup []int // var -> group index or -1
+
+	bestX   []float64
+	bestObj float64
+	hasBest bool
+
+	nodes     int
+	maxNodes  int
+	bestBound float64
+	aborted   bool
+}
+
+// Solve runs branch and bound.
+func Solve(m *Model, p Params) Result {
+	s := &solver{m: m, p: p}
+	s.maxNodes = p.MaxNodes
+	if s.maxNodes == 0 {
+		s.maxNodes = 100000
+	}
+	if p.AbsGap == 0 {
+		p.AbsGap = 1e-6
+	}
+	s.p = p
+	if p.TimeLimit > 0 {
+		s.deadline = time.Now().Add(p.TimeLimit)
+		s.hasDL = true
+	}
+	s.inGroup = make([]int, m.LP.NumVars())
+	for j := range s.inGroup {
+		s.inGroup[j] = -1
+	}
+	for gi, g := range m.Groups {
+		for _, j := range g {
+			s.inGroup[j] = gi
+		}
+	}
+	if p.Incumbent != nil {
+		s.bestX = append([]float64(nil), p.Incumbent...)
+		s.bestObj = p.IncumbentObj
+		s.hasBest = true
+	}
+	s.bestBound = math.Inf(-1)
+
+	lo, hi := m.LP.Bounds()
+	rootBound := s.branch(lo, hi, true)
+	if !s.aborted {
+		s.bestBound = rootBound
+	}
+
+	switch {
+	case s.hasBest && !s.aborted:
+		return Result{Status: Optimal, Obj: s.bestObj, X: s.bestX, Nodes: s.nodes, BestBound: s.bestBound}
+	case s.hasBest:
+		return Result{Status: Feasible, Obj: s.bestObj, X: s.bestX, Nodes: s.nodes, BestBound: s.bestBound}
+	case !s.aborted:
+		return Result{Status: Infeasible, Nodes: s.nodes, BestBound: s.bestBound}
+	default:
+		return Result{Status: Limit, Nodes: s.nodes, BestBound: s.bestBound}
+	}
+}
+
+// branch explores the subproblem with the given bounds and returns its
+// proven lower bound (+Inf when pruned infeasible). root marks the root
+// node for bound bookkeeping.
+func (s *solver) branch(lo, hi []float64, root bool) float64 {
+	if s.aborted {
+		return math.Inf(-1)
+	}
+	if s.nodes >= s.maxNodes || (s.hasDL && time.Now().After(s.deadline)) {
+		s.aborted = true
+		return math.Inf(-1)
+	}
+	s.nodes++
+
+	sol := s.m.LP.SolveWithHint(lo, hi, s.p.Incumbent)
+	switch sol.Status {
+	case lp.Infeasible:
+		return math.Inf(1)
+	case lp.Unbounded:
+		// An unbounded relaxation of our bounded formulations signals a
+		// modelling bug; treat as unresolvable.
+		s.aborted = true
+		return math.Inf(-1)
+	case lp.IterLimit:
+		// Could not resolve the relaxation: conservatively keep the
+		// incumbent and stop pursuing this node without claiming a bound.
+		s.aborted = true
+		return math.Inf(-1)
+	}
+	if s.hasBest && sol.Obj >= s.bestObj-s.p.AbsGap {
+		return sol.Obj // pruned by bound
+	}
+
+	fracVar := s.mostFractional(sol.X)
+	if fracVar == -1 {
+		// Integral: new incumbent.
+		if !s.hasBest || sol.Obj < s.bestObj {
+			s.bestObj = sol.Obj
+			s.bestX = append(s.bestX[:0], sol.X...)
+			s.hasBest = true
+		}
+		return sol.Obj
+	}
+
+	// Primal heuristic: try to repair the fractional solution.
+	if s.p.Rounder != nil {
+		if rx, robj, ok := s.p.Rounder(sol.X); ok {
+			if !s.hasBest || robj < s.bestObj {
+				s.bestObj = robj
+				s.bestX = append(s.bestX[:0], rx...)
+				s.hasBest = true
+			}
+		}
+	}
+
+	var b1, b2 float64
+	if gi := s.inGroup[fracVar]; gi >= 0 {
+		b1, b2 = s.branchGroup(lo, hi, gi, sol.X)
+	} else {
+		b1, b2 = s.branchVar(lo, hi, fracVar, sol.X[fracVar])
+	}
+	return math.Min(b1, b2)
+}
+
+// mostFractional returns the integer variable farthest from integrality,
+// or -1 if all are integral.
+func (s *solver) mostFractional(x []float64) int {
+	best := -1
+	bestDist := intTol
+	for _, j := range s.m.Ints {
+		v := x[j]
+		dist := math.Abs(v - math.Round(v))
+		if dist > bestDist {
+			bestDist = dist
+			best = j
+		}
+	}
+	return best
+}
+
+// branchVar performs the classic floor/ceil dichotomy on variable j.
+func (s *solver) branchVar(lo, hi []float64, j int, v float64) (float64, float64) {
+	fl := math.Floor(v)
+
+	hi2 := append([]float64(nil), hi...)
+	hi2[j] = fl
+	var bDown float64 = math.Inf(1)
+	if lo[j] <= fl {
+		bDown = s.branch(lo, hi2, false)
+	}
+
+	lo2 := append([]float64(nil), lo...)
+	lo2[j] = fl + 1
+	var bUp float64 = math.Inf(1)
+	if hi[j] >= fl+1 {
+		bUp = s.branch(lo2, hi, false)
+	}
+	return bDown, bUp
+}
+
+// branchGroup splits an exactly-one group into two halves by LP value and
+// explores "winner in S" and "winner in complement" children. Fixed-to-zero
+// members (hi already 0) stay fixed in both children.
+func (s *solver) branchGroup(lo, hi []float64, gi int, x []float64) (float64, float64) {
+	g := s.m.Groups[gi]
+	// Active members sorted by LP value descending (selection sort on a
+	// copy; groups are small).
+	active := make([]int, 0, len(g))
+	for _, j := range g {
+		if hi[j] > 0.5 {
+			active = append(active, j)
+		}
+	}
+	for i := 0; i < len(active); i++ {
+		for k := i + 1; k < len(active); k++ {
+			if x[active[k]] > x[active[i]] {
+				active[i], active[k] = active[k], active[i]
+			}
+		}
+	}
+	// S takes members greedily until it holds at least half the LP mass,
+	// which balances the children.
+	var mass, total float64
+	for _, j := range active {
+		total += x[j]
+	}
+	cut := 0
+	for cut < len(active)-1 {
+		mass += x[active[cut]]
+		cut++
+		if mass >= total/2 {
+			break
+		}
+	}
+	inS := make(map[int]bool, cut)
+	for i := 0; i < cut; i++ {
+		inS[active[i]] = true
+	}
+
+	// Child A: winner inside S (zero the complement).
+	hiA := append([]float64(nil), hi...)
+	for _, j := range active {
+		if !inS[j] {
+			hiA[j] = 0
+		}
+	}
+	bA := s.branch(lo, hiA, false)
+
+	// Child B: winner outside S (zero S).
+	hiB := append([]float64(nil), hi...)
+	for i := 0; i < cut; i++ {
+		hiB[active[i]] = 0
+	}
+	bB := s.branch(lo, hiB, false)
+	return bA, bB
+}

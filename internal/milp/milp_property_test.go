@@ -1,0 +1,135 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vm1place/internal/lp"
+)
+
+// TestGroupVsPlainBranching: registering exactly-one groups must not
+// change the optimum, only the search strategy.
+func TestGroupVsPlainBranching(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 50; trial++ {
+		nGroups := 2 + rng.Intn(3)
+		size := 2 + rng.Intn(3)
+		costs := make([][]float64, nGroups)
+		for g := range costs {
+			costs[g] = make([]float64, size)
+			for k := range costs[g] {
+				costs[g][k] = float64(rng.Intn(30))
+			}
+		}
+		// One random coupling row over first candidates.
+		build := func(useGroups bool) Result {
+			m := lp.NewModel()
+			mm := NewModel(m)
+			var firsts []lp.Term
+			for g := 0; g < nGroups; g++ {
+				var vars []int
+				var terms []lp.Term
+				for k := 0; k < size; k++ {
+					v := m.AddVar(0, 1, costs[g][k], "l")
+					vars = append(vars, v)
+					terms = append(terms, lp.Term{Var: v, Coef: 1})
+				}
+				m.AddRow(lp.EQ, 1, terms...)
+				firsts = append(firsts, lp.Term{Var: vars[0], Coef: 1})
+				if useGroups {
+					mm.AddGroup(vars)
+				} else {
+					for _, v := range vars {
+						mm.MarkInt(v)
+					}
+				}
+			}
+			m.AddRow(lp.LE, float64(nGroups-1), firsts...)
+			return Solve(mm, Params{})
+		}
+		a := build(true)
+		b := build(false)
+		if a.Status != Optimal || b.Status != Optimal {
+			t.Fatalf("trial %d: statuses %s / %s", trial, a.Status, b.Status)
+		}
+		if math.Abs(a.Obj-b.Obj) > 1e-5 {
+			t.Fatalf("trial %d: group obj %f != plain obj %f", trial, a.Obj, b.Obj)
+		}
+	}
+}
+
+// TestIncumbentNeverWorsened: the returned objective is never above the
+// provided incumbent objective.
+func TestIncumbentNeverWorsened(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(6)
+		m := lp.NewModel()
+		mm := NewModel(m)
+		var terms []lp.Term
+		vars := make([]int, n)
+		for i := 0; i < n; i++ {
+			vars[i] = m.AddVar(0, 1, float64(rng.Intn(21)-10), "x")
+			terms = append(terms, lp.Term{Var: vars[i], Coef: float64(1 + rng.Intn(5))})
+			mm.MarkInt(vars[i])
+		}
+		m.AddRow(lp.LE, float64(2*n), terms...) // always satisfiable
+		// All-zeros is feasible with objective 0.
+		zero := make([]float64, n)
+		res := Solve(mm, Params{MaxNodes: 1 + rng.Intn(5), Incumbent: zero, IncumbentObj: 0})
+		if res.Status == Infeasible || res.Status == Limit {
+			t.Fatalf("trial %d: lost the incumbent (%s)", trial, res.Status)
+		}
+		if res.Obj > 1e-9 {
+			t.Fatalf("trial %d: objective %f worse than incumbent 0", trial, res.Obj)
+		}
+	}
+}
+
+// TestBudgetsMonotone: more nodes never yield a worse incumbent.
+func TestBudgetsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 25; trial++ {
+		n := 10 + rng.Intn(8)
+		m := lp.NewModel()
+		mm := NewModel(m)
+		var terms []lp.Term
+		for i := 0; i < n; i++ {
+			v := m.AddVar(0, 1, -float64(1+rng.Intn(30)), "x")
+			terms = append(terms, lp.Term{Var: v, Coef: float64(1 + rng.Intn(8))})
+			mm.MarkInt(v)
+		}
+		m.AddRow(lp.LE, float64(3*n/2), terms...)
+		zero := make([]float64, n)
+		small := Solve(mm, Params{MaxNodes: 3, Incumbent: zero, IncumbentObj: 0})
+		large := Solve(mm, Params{MaxNodes: 500, Incumbent: zero, IncumbentObj: 0})
+		if large.Obj > small.Obj+1e-9 {
+			t.Fatalf("trial %d: larger budget worse: %f vs %f", trial, large.Obj, small.Obj)
+		}
+	}
+}
+
+// TestBestBoundIsLowerBound: on solved instances, BestBound <= Obj.
+func TestBestBoundIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(5)
+		m := lp.NewModel()
+		mm := NewModel(m)
+		var terms []lp.Term
+		for i := 0; i < n; i++ {
+			v := m.AddVar(0, 1, float64(rng.Intn(15)-7), "x")
+			terms = append(terms, lp.Term{Var: v, Coef: float64(rng.Intn(5) - 2)})
+			mm.MarkInt(v)
+		}
+		m.AddRow(lp.GE, float64(-n), terms...)
+		res := Solve(mm, Params{})
+		if res.Status != Optimal {
+			continue
+		}
+		if res.BestBound > res.Obj+1e-6 {
+			t.Fatalf("trial %d: bound %f above obj %f", trial, res.BestBound, res.Obj)
+		}
+	}
+}

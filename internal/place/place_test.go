@@ -1,0 +1,136 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"vm1place/internal/cells"
+	"vm1place/internal/layout"
+	"vm1place/internal/netlist"
+	"vm1place/internal/tech"
+)
+
+func mkPlacement(t *testing.T, n int, util float64, seed int64) *layout.Placement {
+	t.Helper()
+	tc := tech.Default()
+	lib := cells.NewLibrary(tc, tech.ClosedM1)
+	d := netlist.Generate(lib, netlist.DefaultGenConfig("p", n, seed))
+	return layout.NewFloorplan(tc, d, util)
+}
+
+func TestGlobalProducesLegalPlacement(t *testing.T) {
+	p := mkPlacement(t, 800, 0.75, 21)
+	if err := Global(p, Options{}); err != nil {
+		t.Fatalf("Global failed: %v", err)
+	}
+	if err := p.CheckLegal(); err != nil {
+		t.Fatalf("placement illegal: %v", err)
+	}
+}
+
+func TestGlobalBeatsRandomHPWL(t *testing.T) {
+	p := mkPlacement(t, 1000, 0.75, 22)
+	if err := Global(p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	placed := p.TotalHPWL()
+
+	// Random legal placement of the same design for comparison.
+	q := p.Clone()
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, len(q.Design.Insts))
+	ys := make([]float64, len(q.Design.Insts))
+	for i := range xs {
+		xs[i] = rng.Float64() * float64(q.DieWidth())
+		ys[i] = rng.Float64() * float64(q.DieHeight())
+	}
+	if err := Legalize(q, xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	random := q.TotalHPWL()
+
+	if placed >= random {
+		t.Errorf("global placement HPWL %d not better than random %d", placed, random)
+	}
+	// Expect a solid improvement, not a rounding artifact.
+	if float64(placed) > 0.8*float64(random) {
+		t.Errorf("global placement HPWL %d only marginally better than random %d", placed, random)
+	}
+}
+
+func TestGlobalHighUtilization(t *testing.T) {
+	p := mkPlacement(t, 600, 0.84, 23)
+	if err := Global(p, Options{}); err != nil {
+		t.Fatalf("Global at 84%% util failed: %v", err)
+	}
+	if err := p.CheckLegal(); err != nil {
+		t.Fatalf("placement illegal: %v", err)
+	}
+}
+
+func TestGlobalDeterministic(t *testing.T) {
+	p1 := mkPlacement(t, 400, 0.75, 24)
+	p2 := mkPlacement(t, 400, 0.75, 24)
+	if err := Global(p1, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Global(p2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.SiteX {
+		if p1.SiteX[i] != p2.SiteX[i] || p1.Row[i] != p2.Row[i] {
+			t.Fatalf("instance %d placed differently across runs", i)
+		}
+	}
+}
+
+func TestLegalizeRespectsDesiredPositions(t *testing.T) {
+	p := mkPlacement(t, 200, 0.5, 25)
+	n := len(p.Design.Insts)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	// Desired: everything spread on a diagonal.
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n)
+		xs[i] = f * float64(p.DieWidth())
+		ys[i] = f * float64(p.DieHeight())
+	}
+	if err := Legalize(p, xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	// Average displacement should be modest (< 8 rows equivalent).
+	var total float64
+	for i := 0; i < n; i++ {
+		dx := float64(p.InstX(i)) - xs[i]
+		dy := float64(p.InstY(i)) - ys[i]
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		total += dx + dy
+	}
+	avg := total / float64(n)
+	if avg > 8*float64(p.Tech.RowHeight) {
+		t.Errorf("average displacement %f DBU too large", avg)
+	}
+}
+
+func TestLegalizeOverflowErrors(t *testing.T) {
+	tc := tech.Default()
+	lib := cells.NewLibrary(tc, tech.ClosedM1)
+	d := netlist.Generate(lib, netlist.DefaultGenConfig("of", 50, 26))
+	p := layout.NewFloorplan(tc, d, 0.5)
+	// Shrink the die so the design cannot fit.
+	p.NumRows = 1
+	p.NumSites = 10
+	xs := make([]float64, len(d.Insts))
+	ys := make([]float64, len(d.Insts))
+	if err := Legalize(p, xs, ys); err == nil {
+		t.Fatal("expected legalization failure on tiny die")
+	}
+}

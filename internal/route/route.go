@@ -1,0 +1,258 @@
+// Package route implements the multi-layer grid router that stands in for
+// the commercial (Innovus) router of the DAC'17 paper. It is the component
+// whose *response to vertical pin alignment* produces the paper's headline
+// metrics: direct vertical M1 routes (dM1), routed wirelength (RWL), via12
+// counts and congestion-driven DRVs.
+//
+// The routing fabric is a 3-D grid: one node per (layer, site-column, row)
+// with preferred-direction edges (M1/M3 vertical, M2/M4 horizontal) and
+// vias between adjacent layers. Nets are routed pin-by-pin onto their
+// growing route tree with A* search; a short negotiated-congestion loop
+// rips up and reroutes nets through overflowed edges. Key
+// architecture-specific behaviours:
+//
+//   - ClosedM1: pins are M1 nodes; foreign M1 pins block M1 traversal, so
+//     inter-row M1 routing exists only where tracks are clear and pins
+//     align — exactly the regime the paper's optimizer targets.
+//   - OpenM1: pins are M0 shapes reached from any M1 node above their
+//     x-extent for a via01 cost; M1 is otherwise open.
+//   - Conventional: M1 carries rails/pins only; routing starts at M2.
+//
+// A connection routed as a single vertical M1 segment between two pin
+// nodes spanning at most γ rows is counted as a direct vertical M1 route.
+package route
+
+import (
+	"vm1place/internal/layout"
+	"vm1place/internal/netlist"
+	"vm1place/internal/tech"
+)
+
+// Config tunes the router.
+type Config struct {
+	// Caps is the per-layer routing capacity of one grid edge (tracks).
+	Caps [tech.NumLayers]int
+	// ViaCost is the cost of one layer change, in DBU-equivalent units.
+	ViaCost int64
+	// M1CostFactor scales M1 edge cost; < 1 makes the router prefer
+	// direct vertical M1 where geometry permits (the dM1-aware mode).
+	M1CostFactor float64
+	// Gamma is the maximum dM1 span in rows (from tech).
+	Gamma int
+	// RipupIters is the number of congestion-negotiation passes after the
+	// initial routing pass.
+	RipupIters int
+	// CongWeight scales the per-overflow cost penalty; it is further
+	// multiplied by the pass number during rip-up.
+	CongWeight float64
+	// SearchMargin pads each connection's search bounding box, in grid
+	// cells.
+	SearchMargin int
+	// M1Routable disables M1 inter-cell routing (Conventional libraries).
+	M1Routable bool
+	// Arch selects pin-access behaviour.
+	Arch tech.Arch
+}
+
+// DefaultConfig returns the router configuration for an architecture.
+func DefaultConfig(t *tech.Tech, arch tech.Arch) Config {
+	cfg := Config{
+		ViaCost:      t.ViaCost,
+		M1CostFactor: 0.3,
+		Gamma:        t.Gamma,
+		RipupIters:   2,
+		CongWeight:   4.0,
+		SearchMargin: 12,
+		M1Routable:   arch != tech.Conventional,
+		Arch:         arch,
+	}
+	cfg.Caps[tech.M1] = 1
+	cfg.Caps[tech.M2] = 3
+	cfg.Caps[tech.M3] = 2
+	cfg.Caps[tech.M4] = 3
+	return cfg
+}
+
+// Metrics summarizes one routing of the design.
+type Metrics struct {
+	// RWL is total routed wirelength in DBU (all layers).
+	RWL int64
+	// LayerWL is per-layer wirelength in DBU.
+	LayerWL [tech.NumLayers]int64
+	// Via01/Via12/Via23/Via34 count vias by layer pair.
+	Via01, Via12, Via23, Via34 int
+	// DM1 is the number of direct vertical M1 routes (single M1 segment
+	// pin-to-pin connections spanning <= Gamma rows).
+	DM1 int
+	// M1Segs is the number of distinct M1 route segments.
+	M1Segs int
+	// Overflow is the total edge overflow (Σ max(0, usage-cap)), the DRV
+	// proxy.
+	Overflow int
+	// FailedConns counts connections the router could not complete.
+	FailedConns int
+}
+
+// Router routes one placement. It retains per-net routes so callers can
+// inspect them; RouteAll may be called repeatedly (e.g., after placement
+// changes) and starts from a clean slate each time.
+type Router struct {
+	cfg Config
+	p   *layout.Placement
+	t   *tech.Tech
+
+	nx, ny int // grid: site columns x rows
+
+	// Edge usage per layer. Vertical layers use index y*nx+x for the edge
+	// (x,y)-(x,y+1); horizontal layers use y*(nx-1)+x for (x,y)-(x+1,y).
+	usage [tech.NumLayers][]int32
+
+	// blockedM1[x*ny+y] = net index + 1 of the ClosedM1 pin occupying the
+	// M1 track node, or 0.
+	blockedM1 []int32
+
+	// A* scratch, generation-stamped.
+	gen      int32
+	visGen   []int32
+	gCost    []float64
+	cameFrom []int32
+
+	// routes holds the current route of each net.
+	routes map[int]*netRoute
+
+	metrics Metrics
+}
+
+// New creates a router over the placement.
+func New(p *layout.Placement, cfg Config) *Router {
+	r := &Router{
+		cfg: cfg,
+		p:   p,
+		t:   p.Tech,
+		nx:  p.NumSites,
+		ny:  p.NumRows,
+	}
+	n := r.nx * r.ny
+	for l := tech.M1; l <= tech.M4; l++ {
+		r.usage[l] = make([]int32, n)
+	}
+	size := int(tech.NumLayers) * n
+	r.visGen = make([]int32, size)
+	r.gCost = make([]float64, size)
+	r.cameFrom = make([]int32, size)
+	r.blockedM1 = make([]int32, n)
+	r.routes = make(map[int]*netRoute)
+	return r
+}
+
+// node encoding: idx = (layer*ny + y)*nx + x.
+func (r *Router) nodeID(l tech.Layer, x, y int) int32 {
+	return int32((int(l)*r.ny+y)*r.nx + x)
+}
+
+func (r *Router) nodeOf(id int32) (l tech.Layer, x, y int) {
+	x = int(id) % r.nx
+	rest := int(id) / r.nx
+	y = rest % r.ny
+	l = tech.Layer(rest / r.ny)
+	return l, x, y
+}
+
+// vEdge returns the usage index of the vertical edge (x,y)-(x,y+1).
+func (r *Router) vEdge(x, y int) int { return y*r.nx + x }
+
+// hEdge returns the usage index of the horizontal edge (x,y)-(x+1,y).
+func (r *Router) hEdge(x, y int) int { return y*(r.nx-1) + x }
+
+// accessPoint is one grid node from which a pin can be reached.
+type accessPoint struct {
+	node    int32
+	viaCost int64 // cost of dropping from the node into the pin (e.g. V01)
+}
+
+// pinAccess returns the access points of a connection's pin.
+func (r *Router) pinAccess(c netlist.Conn) []accessPoint {
+	shape := r.p.PinShape(c)
+	row := r.p.Row[c.Inst]
+	clampX := func(x int) int {
+		if x < 0 {
+			return 0
+		}
+		if x >= r.nx {
+			return r.nx - 1
+		}
+		return x
+	}
+	switch r.cfg.Arch {
+	case tech.ClosedM1:
+		cx := (shape.Rect.XLo + shape.Rect.XHi) / 2
+		x := clampX(r.t.XToSite(cx))
+		return []accessPoint{{node: r.nodeID(tech.M1, x, row), viaCost: 0}}
+	case tech.OpenM1:
+		lo := clampX(r.t.XToSite(shape.Rect.XLo))
+		hi := clampX(r.t.XToSite(shape.Rect.XHi - 1))
+		pts := make([]accessPoint, 0, hi-lo+1)
+		for x := lo; x <= hi; x++ {
+			pts = append(pts, accessPoint{node: r.nodeID(tech.M1, x, row), viaCost: r.cfg.ViaCost})
+		}
+		return pts
+	default: // Conventional: access from M2 above the pin center.
+		cx := (shape.Rect.XLo + shape.Rect.XHi) / 2
+		x := clampX(r.t.XToSite(cx))
+		return []accessPoint{{node: r.nodeID(tech.M2, x, row), viaCost: r.cfg.ViaCost}}
+	}
+}
+
+// portAccess returns the access point for a port.
+func (r *Router) portAccess(pi int) accessPoint {
+	pt := r.p.PortXY[pi]
+	x := r.t.XToSite(pt.X)
+	y := r.t.YToRow(pt.Y)
+	if x < 0 {
+		x = 0
+	}
+	if x >= r.nx {
+		x = r.nx - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= r.ny {
+		y = r.ny - 1
+	}
+	return accessPoint{node: r.nodeID(tech.M2, x, y), viaCost: 0}
+}
+
+// buildBlockage records ClosedM1 pin blockages (foreign pins block M1).
+func (r *Router) buildBlockage() {
+	for i := range r.blockedM1 {
+		r.blockedM1[i] = 0
+	}
+	if r.cfg.Arch != tech.ClosedM1 {
+		return
+	}
+	d := r.p.Design
+	for ii := range d.Insts {
+		m := d.Insts[ii].Master
+		row := r.p.Row[ii]
+		for pi := range m.Pins {
+			p := &m.Pins[pi]
+			if !p.IsSignal() {
+				continue
+			}
+			ni := d.Insts[ii].PinNets[pi]
+			shape := r.p.PinShape(netlist.Conn{Inst: ii, Pin: pi})
+			cx := (shape.Rect.XLo + shape.Rect.XHi) / 2
+			x := r.t.XToSite(cx)
+			if x < 0 || x >= r.nx {
+				continue
+			}
+			r.blockedM1[r.blockIdx(x, row)] = int32(ni + 1)
+		}
+	}
+}
+
+func (r *Router) blockIdx(x, y int) int { return y*r.nx + x }
+
+// Metrics returns the metrics of the last RouteAll.
+func (r *Router) Metrics() Metrics { return r.metrics }

@@ -1,0 +1,225 @@
+package route
+
+import (
+	"sort"
+
+	"vm1place/internal/tech"
+)
+
+// RouteAll routes every signal net from scratch (clearing any previous
+// routing), runs the configured rip-up-and-reroute passes, and returns the
+// final metrics.
+func (r *Router) RouteAll() Metrics {
+	// Reset state.
+	for l := tech.M1; l <= tech.M4; l++ {
+		for i := range r.usage[l] {
+			r.usage[l][i] = 0
+		}
+	}
+	r.routes = make(map[int]*netRoute)
+	r.metrics = Metrics{}
+	r.buildBlockage()
+
+	nets := r.routableNets()
+	// Route short nets first: they have the least flexibility.
+	sort.SliceStable(nets, func(a, b int) bool {
+		return r.p.NetHPWL(nets[a]) < r.p.NetHPWL(nets[b])
+	})
+
+	for _, ni := range nets {
+		r.routes[ni] = r.routeNet(ni, r.cfg.CongWeight)
+	}
+
+	// Negotiated-congestion rip-up: nets crossing overflowed edges are
+	// rerouted with a stiffer congestion penalty.
+	cw := r.cfg.CongWeight
+	for pass := 0; pass < r.cfg.RipupIters; pass++ {
+		if r.totalOverflow() == 0 {
+			break
+		}
+		cw *= 2
+		victims := r.overflowVictims(nets)
+		for _, ni := range victims {
+			r.ripNet(ni)
+		}
+		for _, ni := range victims {
+			r.routes[ni] = r.routeNet(ni, cw)
+		}
+	}
+
+	r.computeMetrics()
+	return r.metrics
+}
+
+// routableNets returns signal nets with at least two endpoints.
+func (r *Router) routableNets() []int {
+	d := r.p.Design
+	var nets []int
+	for ni := range d.Nets {
+		if d.Nets[ni].IsClock {
+			continue
+		}
+		cnt := d.Nets[ni].NumConns()
+		for pi := range d.Ports {
+			if d.Ports[pi].Net == ni {
+				cnt++
+			}
+		}
+		if cnt >= 2 {
+			nets = append(nets, ni)
+		}
+	}
+	return nets
+}
+
+// ripNet removes a net's routing from the usage maps.
+func (r *Router) ripNet(ni int) {
+	nr := r.routes[ni]
+	if nr == nil {
+		return
+	}
+	for _, path := range nr.paths {
+		r.addUsage(path, -1)
+	}
+	delete(r.routes, ni)
+}
+
+// overflowVictims returns nets with at least one path edge over capacity.
+func (r *Router) overflowVictims(nets []int) []int {
+	var victims []int
+	for _, ni := range nets {
+		nr := r.routes[ni]
+		if nr == nil {
+			continue
+		}
+		hit := false
+		for _, path := range nr.paths {
+			if r.pathOverflows(path) {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			victims = append(victims, ni)
+		}
+	}
+	return victims
+}
+
+func (r *Router) pathOverflows(path []int32) bool {
+	for i := 1; i < len(path); i++ {
+		la, xa, ya := r.nodeOf(path[i-1])
+		lb, xb, yb := r.nodeOf(path[i])
+		if la != lb {
+			continue
+		}
+		var u int32
+		switch {
+		case xa == xb && yb == ya+1:
+			u = r.usage[la][r.vEdge(xa, ya)]
+		case xa == xb && yb == ya-1:
+			u = r.usage[la][r.vEdge(xa, yb)]
+		case ya == yb && xb == xa+1:
+			u = r.usage[la][r.hEdge(xa, ya)]
+		case ya == yb && xb == xa-1:
+			u = r.usage[la][r.hEdge(xb, ya)]
+		}
+		if int(u) > r.cfg.Caps[la] {
+			return true
+		}
+	}
+	return false
+}
+
+// totalOverflow sums edge overflow across all layers (the DRV proxy).
+func (r *Router) totalOverflow() int {
+	total := 0
+	for l := tech.M1; l <= tech.M4; l++ {
+		cap := int32(r.cfg.Caps[l])
+		if l.Direction() == tech.Vertical {
+			for x := 0; x < r.nx; x++ {
+				for y := 0; y < r.ny-1; y++ {
+					if u := r.usage[l][r.vEdge(x, y)]; u > cap {
+						total += int(u - cap)
+					}
+				}
+			}
+		} else {
+			for y := 0; y < r.ny; y++ {
+				for x := 0; x < r.nx-1; x++ {
+					if u := r.usage[l][r.hEdge(x, y)]; u > cap {
+						total += int(u - cap)
+					}
+				}
+			}
+		}
+	}
+	return total
+}
+
+// computeMetrics derives all metrics from the stored routes.
+func (r *Router) computeMetrics() {
+	m := Metrics{FailedConns: r.metrics.FailedConns}
+	for _, nr := range r.routes {
+		for pi, path := range nr.paths {
+			if nr.dm1[pi] {
+				m.DM1++
+			}
+			inM1Run := false
+			for i := 1; i < len(path); i++ {
+				la, _, ya := r.nodeOf(path[i-1])
+				lb, _, yb := r.nodeOf(path[i])
+				if la != lb {
+					// Via.
+					lo := la
+					if lb < lo {
+						lo = lb
+					}
+					switch lo {
+					case tech.M1:
+						m.Via12++
+					case tech.M2:
+						m.Via23++
+					case tech.M3:
+						m.Via34++
+					}
+					inM1Run = false
+					continue
+				}
+				if la.Direction() == tech.Vertical {
+					m.LayerWL[la] += r.t.RowHeight * absI64(int64(yb-ya))
+					if la == tech.M1 {
+						if !inM1Run {
+							m.M1Segs++
+							inM1Run = true
+						}
+					} else {
+						inM1Run = false
+					}
+				} else {
+					m.LayerWL[la] += r.t.SiteWidth
+					inM1Run = false
+				}
+			}
+		}
+		// Pin-access vias, once per pin terminal.
+		switch r.cfg.Arch {
+		case tech.OpenM1:
+			m.Via01 += nr.pinConns
+		case tech.Conventional:
+			m.Via12 += nr.pinConns
+		}
+	}
+	for l := tech.M1; l <= tech.M4; l++ {
+		m.RWL += m.LayerWL[l]
+	}
+	m.Overflow = r.totalOverflow()
+	r.metrics = m
+}
+
+func absI64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

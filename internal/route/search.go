@@ -1,0 +1,424 @@
+package route
+
+import (
+	"sort"
+
+	"vm1place/internal/geom"
+	"vm1place/internal/netlist"
+	"vm1place/internal/tech"
+)
+
+// pqItem is one A* frontier entry.
+type pqItem struct {
+	node int32
+	f    float64
+}
+
+// pq is a binary min-heap of pqItems.
+type pq []pqItem
+
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	i := len(*q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*q)[parent].f <= (*q)[i].f {
+			break
+		}
+		(*q)[parent], (*q)[i] = (*q)[i], (*q)[parent]
+		i = parent
+	}
+}
+
+func (q *pq) pop() pqItem {
+	top := (*q)[0]
+	last := len(*q) - 1
+	(*q)[0] = (*q)[last]
+	*q = (*q)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(*q) && (*q)[l].f < (*q)[small].f {
+			small = l
+		}
+		if r < len(*q) && (*q)[r].f < (*q)[small].f {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*q)[i], (*q)[small] = (*q)[small], (*q)[i]
+		i = small
+	}
+	return top
+}
+
+// netRoute holds the routed state of one net.
+type netRoute struct {
+	paths [][]int32
+	dm1   []bool
+	// endpoints that participated (for via counting).
+	pinConns int
+}
+
+// region is an inclusive grid-rectangle search bound.
+type region struct {
+	xlo, ylo, xhi, yhi int
+}
+
+func (r *Router) clampRegion(rg region) region {
+	if rg.xlo < 0 {
+		rg.xlo = 0
+	}
+	if rg.ylo < 0 {
+		rg.ylo = 0
+	}
+	if rg.xhi >= r.nx {
+		rg.xhi = r.nx - 1
+	}
+	if rg.yhi >= r.ny {
+		rg.yhi = r.ny - 1
+	}
+	return rg
+}
+
+// edgeCostV returns the cost of traversing the vertical edge (x,y)-(x,y+1)
+// on layer l with congestion weight cw.
+func (r *Router) edgeCostV(l tech.Layer, x, y int, cw float64) float64 {
+	base := float64(r.t.RowHeight)
+	if l == tech.M1 {
+		base *= r.cfg.M1CostFactor
+	}
+	u := r.usage[l][r.vEdge(x, y)]
+	over := int(u) + 1 - r.cfg.Caps[l]
+	if over > 0 {
+		base += float64(r.t.RowHeight) * cw * float64(over)
+	}
+	return base
+}
+
+// edgeCostH returns the cost of the horizontal edge (x,y)-(x+1,y) on l.
+func (r *Router) edgeCostH(l tech.Layer, x, y int, cw float64) float64 {
+	base := float64(r.t.SiteWidth)
+	u := r.usage[l][r.hEdge(x, y)]
+	over := int(u) + 1 - r.cfg.Caps[l]
+	if over > 0 {
+		base += float64(r.t.SiteWidth) * cw * float64(over)
+	}
+	return base
+}
+
+// m1Enterable reports whether net ni may occupy the M1 node at (x,y).
+func (r *Router) m1Enterable(ni, x, y int) bool {
+	if !r.cfg.M1Routable {
+		return false
+	}
+	b := r.blockedM1[r.blockIdx(x, y)]
+	return b == 0 || b == int32(ni+1)
+}
+
+// astar searches from the source access points to any node in targets,
+// bounded by rg. Returns the path (source node first) or nil.
+func (r *Router) astar(ni int, sources []accessPoint, targets map[int32]struct{},
+	tb region, rg region, cw float64) []int32 {
+	r.gen++
+	gen := r.gen
+	var open pq
+
+	// Slightly inflated distance-to-target-box heuristic. Inflation (and
+	// pricing vertical moves at the full row pitch even though M1 may be
+	// cheaper) trades strict optimality for a near-beeline search — the
+	// standard maze-router compromise; congestion and via costs still
+	// shape the path through g.
+	sw := float64(r.t.SiteWidth)
+	rh := float64(r.t.RowHeight)
+	h := func(id int32) float64 {
+		_, x, y := r.nodeOf(id)
+		var dx, dy int
+		if x < tb.xlo {
+			dx = tb.xlo - x
+		} else if x > tb.xhi {
+			dx = x - tb.xhi
+		}
+		if y < tb.ylo {
+			dy = tb.ylo - y
+		} else if y > tb.yhi {
+			dy = y - tb.yhi
+		}
+		return (float64(dx)*sw + float64(dy)*rh) * 1.05
+	}
+
+	visit := func(id int32, g float64, from int32) {
+		if r.visGen[id] == gen && r.gCost[id] <= g {
+			return
+		}
+		r.visGen[id] = gen
+		r.gCost[id] = g
+		r.cameFrom[id] = from
+		open.push(pqItem{node: id, f: g + h(id)})
+	}
+
+	for _, src := range sources {
+		l, x, y := r.nodeOf(src.node)
+		if l == tech.M1 && !r.m1Enterable(ni, x, y) {
+			continue
+		}
+		visit(src.node, float64(src.viaCost), -1)
+	}
+
+	for len(open) > 0 {
+		cur := open.pop()
+		id := cur.node
+		if r.visGen[id] != gen {
+			continue
+		}
+		g := r.gCost[id]
+		if cur.f > g+h(id)+1e-9 {
+			continue // stale entry
+		}
+		if _, ok := targets[id]; ok {
+			// Reconstruct.
+			var path []int32
+			for n := id; n != -1; n = r.cameFrom[n] {
+				path = append(path, n)
+			}
+			// Reverse to source-first order.
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path
+		}
+
+		l, x, y := r.nodeOf(id)
+		// Preferred-direction edges.
+		if l.Direction() == tech.Vertical {
+			if y+1 <= rg.yhi && (l != tech.M1 || r.m1Enterable(ni, x, y+1)) {
+				visit(r.nodeID(l, x, y+1), g+r.edgeCostV(l, x, y, cw), id)
+			}
+			if y-1 >= rg.ylo && (l != tech.M1 || r.m1Enterable(ni, x, y-1)) {
+				visit(r.nodeID(l, x, y-1), g+r.edgeCostV(l, x, y-1, cw), id)
+			}
+		} else {
+			if x+1 <= rg.xhi {
+				visit(r.nodeID(l, x+1, y), g+r.edgeCostH(l, x, y, cw), id)
+			}
+			if x-1 >= rg.xlo {
+				visit(r.nodeID(l, x-1, y), g+r.edgeCostH(l, x-1, y, cw), id)
+			}
+		}
+		// Vias (the graph never descends below M1).
+		if l > tech.M1 {
+			down := l - 1
+			if down != tech.M1 || r.m1Enterable(ni, x, y) {
+				visit(r.nodeID(down, x, y), g+float64(r.cfg.ViaCost), id)
+			}
+		}
+		if l < tech.M4 {
+			visit(r.nodeID(l+1, x, y), g+float64(r.cfg.ViaCost), id)
+		}
+	}
+	return nil
+}
+
+// endpoint is one net terminal: either an instance pin or a port.
+type endpoint struct {
+	access []accessPoint
+	pos    geom.Point // for ordering and bboxes
+	isPin  bool
+}
+
+// endpoints collects the terminals of net ni (driver first when present).
+func (r *Router) endpoints(ni int) []endpoint {
+	d := r.p.Design
+	n := &d.Nets[ni]
+	var eps []endpoint
+	n.ForEachConn(func(c netlist.Conn) {
+		eps = append(eps, endpoint{
+			access: r.pinAccess(c),
+			pos:    r.p.PinPos(c),
+			isPin:  true,
+		})
+	})
+	for pi := range d.Ports {
+		if d.Ports[pi].Net == ni {
+			eps = append(eps, endpoint{
+				access: []accessPoint{r.portAccess(pi)},
+				pos:    r.p.PortXY[pi],
+			})
+		}
+	}
+	return eps
+}
+
+// routeNet routes net ni, updating usage and returning its route. cw is
+// the congestion weight for this pass.
+func (r *Router) routeNet(ni int, cw float64) *netRoute {
+	eps := r.endpoints(ni)
+	nr := &netRoute{pinConns: 0}
+	for _, ep := range eps {
+		if ep.isPin {
+			nr.pinConns++
+		}
+	}
+	if len(eps) < 2 {
+		return nr
+	}
+
+	// Grow a route tree starting at the first endpoint (the driver when
+	// the net has one), connecting remaining endpoints nearest-first.
+	tree := make(map[int32]struct{})
+	pinNodes := make(map[int32]struct{})
+	var treeGrid region
+	first := eps[0]
+	for _, ap := range first.access {
+		tree[ap.node] = struct{}{}
+		if first.isPin {
+			pinNodes[ap.node] = struct{}{}
+		}
+	}
+	treeGrid = r.apRegion(first.access)
+
+	rest := append([]endpoint(nil), eps[1:]...)
+	sort.Slice(rest, func(a, b int) bool {
+		return rest[a].pos.ManhattanDist(first.pos) < rest[b].pos.ManhattanDist(first.pos)
+	})
+
+	for _, ep := range rest {
+		epRegion := r.apRegion(ep.access)
+		search := r.clampRegion(region{
+			xlo: min(treeGrid.xlo, epRegion.xlo) - r.cfg.SearchMargin,
+			ylo: min(treeGrid.ylo, epRegion.ylo) - r.cfg.SearchMargin,
+			xhi: max(treeGrid.xhi, epRegion.xhi) + r.cfg.SearchMargin,
+			yhi: max(treeGrid.yhi, epRegion.yhi) + r.cfg.SearchMargin,
+		})
+		path := r.astar(ni, ep.access, tree, treeGrid, search, cw)
+		if path == nil {
+			// Retry with a much larger window before giving up.
+			search = r.clampRegion(region{
+				xlo: search.xlo - 6*r.cfg.SearchMargin, ylo: search.ylo - 6*r.cfg.SearchMargin,
+				xhi: search.xhi + 6*r.cfg.SearchMargin, yhi: search.yhi + 6*r.cfg.SearchMargin,
+			})
+			path = r.astar(ni, ep.access, tree, treeGrid, search, cw)
+		}
+		if path == nil {
+			r.metrics.FailedConns++
+			continue
+		}
+		dm1 := r.classifyDM1(path, pinNodes, ep.isPin)
+		r.addUsage(path, +1)
+		for _, id := range path {
+			tree[id] = struct{}{}
+		}
+		if ep.isPin {
+			for _, ap := range ep.access {
+				pinNodes[ap.node] = struct{}{}
+			}
+		}
+		treeGrid = r.growRegion(treeGrid, path)
+		nr.paths = append(nr.paths, path)
+		nr.dm1 = append(nr.dm1, dm1)
+	}
+	return nr
+}
+
+// classifyDM1 reports whether a connection path is a direct vertical M1
+// route: entirely on one M1 track, spanning at most Gamma rows, landing on
+// a pin node of the tree, with the moving end also a pin.
+func (r *Router) classifyDM1(path []int32, pinNodes map[int32]struct{}, fromPin bool) bool {
+	if !fromPin || len(path) == 0 {
+		return false
+	}
+	last := path[len(path)-1]
+	if _, ok := pinNodes[last]; !ok {
+		return false
+	}
+	_, x0, y0 := r.nodeOf(path[0])
+	for _, id := range path {
+		l, x, _ := r.nodeOf(id)
+		if l != tech.M1 || x != x0 {
+			return false
+		}
+	}
+	_, _, yEnd := r.nodeOf(last)
+	span := yEnd - y0
+	if span < 0 {
+		span = -span
+	}
+	return span <= r.cfg.Gamma
+}
+
+// apRegion returns the grid bbox of a set of access points.
+func (r *Router) apRegion(aps []accessPoint) region {
+	rg := region{xlo: r.nx, ylo: r.ny, xhi: -1, yhi: -1}
+	for _, ap := range aps {
+		_, x, y := r.nodeOf(ap.node)
+		if x < rg.xlo {
+			rg.xlo = x
+		}
+		if x > rg.xhi {
+			rg.xhi = x
+		}
+		if y < rg.ylo {
+			rg.ylo = y
+		}
+		if y > rg.yhi {
+			rg.yhi = y
+		}
+	}
+	return rg
+}
+
+func (r *Router) growRegion(rg region, path []int32) region {
+	for _, id := range path {
+		_, x, y := r.nodeOf(id)
+		if x < rg.xlo {
+			rg.xlo = x
+		}
+		if x > rg.xhi {
+			rg.xhi = x
+		}
+		if y < rg.ylo {
+			rg.ylo = y
+		}
+		if y > rg.yhi {
+			rg.yhi = y
+		}
+	}
+	return rg
+}
+
+// addUsage applies (or removes, delta = -1) a path's edge usage.
+func (r *Router) addUsage(path []int32, delta int32) {
+	for i := 1; i < len(path); i++ {
+		la, xa, ya := r.nodeOf(path[i-1])
+		lb, xb, yb := r.nodeOf(path[i])
+		if la != lb {
+			continue // via
+		}
+		switch {
+		case xa == xb && yb == ya+1:
+			r.usage[la][r.vEdge(xa, ya)] += delta
+		case xa == xb && yb == ya-1:
+			r.usage[la][r.vEdge(xa, yb)] += delta
+		case ya == yb && xb == xa+1:
+			r.usage[la][r.hEdge(xa, ya)] += delta
+		case ya == yb && xb == xa-1:
+			r.usage[la][r.hEdge(xb, ya)] += delta
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

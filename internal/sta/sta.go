@@ -1,0 +1,209 @@
+// Package sta is a lightweight static timing and power analyzer standing in
+// for the commercial signoff reports of the DAC'17 paper (WNS and total
+// power columns of Table 2).
+//
+// Timing model: levelized longest-path analysis over the combinational
+// graph between flip-flop/port boundaries. A cell's delay is
+// Intrinsic + DriveRes * load, where load is the sum of sink input
+// capacitances plus wire capacitance proportional to the net's routed (or
+// HPWL-estimated) length. Power model: switching power proportional to
+// total capacitance (wire + pin) at a fixed toggle rate, plus per-cell
+// leakage.
+//
+// The paper's WNS/power deltas are small (<= 1%); what matters here is
+// that the model responds with the right sign to wirelength changes, so
+// the Table 2 columns can be reproduced in shape.
+package sta
+
+import (
+	"math"
+
+	"vm1place/internal/cells"
+	"vm1place/internal/layout"
+	"vm1place/internal/netlist"
+)
+
+// Config tunes the analysis.
+type Config struct {
+	// ClockPeriodNs is the timing constraint.
+	ClockPeriodNs float64
+	// WireCapPerDBU is wire capacitance per DBU of routed length, in the
+	// same units as cells' InputCap.
+	WireCapPerDBU float64
+	// WireDelayPerDBU is an additional wire delay per DBU (lumped RC).
+	WireDelayPerDBU float64
+	// ToggleRate is the fraction of nets switching per clock (power).
+	ToggleRate float64
+	// CapToPowerUW converts (cap units x toggles x frequency) to µW.
+	CapToPowerUW float64
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		ClockPeriodNs:   2.0,
+		WireCapPerDBU:   0.0012,
+		WireDelayPerDBU: 0.000020,
+		ToggleRate:      0.15,
+		CapToPowerUW:    8.0,
+	}
+}
+
+// Report is the result of an analysis.
+type Report struct {
+	// WNS is the worst negative slack in ns (0 when all paths meet the
+	// clock period; negative when violating).
+	WNS float64
+	// CritDelay is the longest path delay in ns.
+	CritDelay float64
+	// TotalPowerMW is switching + leakage power in mW.
+	TotalPowerMW float64
+	// SwitchingPowerMW and LeakagePowerMW break down TotalPowerMW.
+	SwitchingPowerMW float64
+	LeakagePowerMW   float64
+}
+
+// NetLengths supplies per-net wire lengths in DBU. Pass nil to Analyze to
+// fall back to HPWL from the placement.
+type NetLengths func(ni int) int64
+
+// Analyze runs timing and power analysis on a placed design. lengths, when
+// non-nil, supplies routed net lengths (e.g. from the router); otherwise
+// HPWL is used.
+func Analyze(p *layout.Placement, cfg Config, lengths NetLengths) Report {
+	d := p.Design
+	nl := func(ni int) int64 {
+		if lengths != nil {
+			return lengths(ni)
+		}
+		return p.NetHPWL(ni)
+	}
+
+	// Net loads: sink pin caps + wire cap.
+	netLoad := make([]float64, len(d.Nets))
+	for ni := range d.Nets {
+		n := &d.Nets[ni]
+		if n.IsClock {
+			continue
+		}
+		load := cfg.WireCapPerDBU * float64(nl(ni))
+		for _, s := range n.Sinks {
+			load += d.Insts[s.Inst].Master.InputCap
+		}
+		netLoad[ni] = load
+	}
+
+	arrival := forwardArrivals(d, cfg, nl, netLoad)
+
+	// Timing endpoints: FF D pins and primary outputs.
+	critDelay := 0.0
+	for i := range d.Insts {
+		m := d.Insts[i].Master
+		if !m.IsFF {
+			continue
+		}
+		if a := instArrival(d, cfg, nl, arrival, i); a > critDelay {
+			critDelay = a
+		}
+	}
+	for _, pt := range d.Ports {
+		if pt.Input {
+			continue
+		}
+		a := arrival[pt.Net] + cfg.WireDelayPerDBU*float64(nl(pt.Net))
+		if a > critDelay {
+			critDelay = a
+		}
+	}
+
+	wns := cfg.ClockPeriodNs - critDelay
+	if wns > 0 {
+		wns = 0
+	}
+
+	// Power.
+	freqGHz := 1.0 / cfg.ClockPeriodNs
+	var swUW, leakUW float64
+	for ni := range d.Nets {
+		if d.Nets[ni].IsClock {
+			continue
+		}
+		swUW += netLoad[ni] * cfg.ToggleRate * freqGHz * cfg.CapToPowerUW
+	}
+	for i := range d.Insts {
+		leakUW += d.Insts[i].Master.LeakageUW
+	}
+
+	return Report{
+		WNS:              roundNs(wns),
+		CritDelay:        roundNs(critDelay),
+		SwitchingPowerMW: swUW / 1000,
+		LeakagePowerMW:   leakUW / 1000,
+		TotalPowerMW:     (swUW + leakUW) / 1000,
+	}
+}
+
+// instArrival returns the latest arrival among an instance's signal
+// inputs, including input wire delay.
+func instArrival(d *netlist.Design, cfg Config, nl NetLengths, arrival []float64, i int) float64 {
+	worst := 0.0
+	for pi, ni := range d.Insts[i].PinNets {
+		if ni < 0 {
+			continue
+		}
+		pin := &d.Insts[i].Master.Pins[pi]
+		if pin.Dir != cells.Input || d.Nets[ni].IsClock {
+			continue
+		}
+		a := arrival[ni] + cfg.WireDelayPerDBU*float64(nl(ni))
+		if a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+// forwardArrivals computes arrival times at every driven net. FF outputs
+// are seeded first (they depend only on clk-to-q), then combinational
+// instances are swept in index order — a valid topological order because
+// the generator sources combinational fanins from lower-index gates or
+// FFs.
+func forwardArrivals(d *netlist.Design, cfg Config, nl NetLengths, netLoad []float64) []float64 {
+	arrival := make([]float64, len(d.Nets))
+	for i := range d.Insts {
+		m := d.Insts[i].Master
+		if !m.IsFF {
+			continue
+		}
+		if out := outNetOf(d, i); out >= 0 {
+			arrival[out] = m.Intrinsic + m.DriveRes*netLoad[out]
+		}
+	}
+	for i := range d.Insts {
+		m := d.Insts[i].Master
+		if m.IsFF {
+			continue
+		}
+		out := outNetOf(d, i)
+		if out < 0 {
+			continue
+		}
+		arrival[out] = instArrival(d, cfg, nl, arrival, i) +
+			m.Intrinsic + m.DriveRes*netLoad[out]
+	}
+	return arrival
+}
+
+// outNetOf returns the net driven by instance i, or -1.
+func outNetOf(d *netlist.Design, i int) int {
+	m := d.Insts[i].Master
+	for pi := range m.Pins {
+		if m.Pins[pi].Dir == cells.Output {
+			return d.Insts[i].PinNets[pi]
+		}
+	}
+	return -1
+}
+
+// roundNs rounds to picosecond precision for stable reporting.
+func roundNs(v float64) float64 { return math.Round(v*1000) / 1000 }

@@ -1,0 +1,97 @@
+package sta
+
+import (
+	"testing"
+
+	"vm1place/internal/cells"
+	"vm1place/internal/layout"
+	"vm1place/internal/netlist"
+	"vm1place/internal/place"
+	"vm1place/internal/tech"
+)
+
+func analyzedDesign(t *testing.T, n int, seed int64) (*layout.Placement, Report) {
+	t.Helper()
+	tc := tech.Default()
+	lib := cells.NewLibrary(tc, tech.ClosedM1)
+	d := netlist.Generate(lib, netlist.DefaultGenConfig("sta", n, seed))
+	p := layout.NewFloorplan(tc, d, 0.75)
+	if err := place.Global(p, place.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return p, Analyze(p, DefaultConfig(), nil)
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	_, rep := analyzedDesign(t, 800, 41)
+	if rep.CritDelay <= 0 {
+		t.Errorf("CritDelay = %f, want > 0", rep.CritDelay)
+	}
+	if rep.WNS > 0 {
+		t.Errorf("WNS = %f, must be <= 0", rep.WNS)
+	}
+	if rep.TotalPowerMW <= 0 {
+		t.Errorf("TotalPowerMW = %f", rep.TotalPowerMW)
+	}
+	if rep.SwitchingPowerMW <= 0 || rep.LeakagePowerMW <= 0 {
+		t.Errorf("power breakdown: %+v", rep)
+	}
+	if diff := rep.TotalPowerMW - rep.SwitchingPowerMW - rep.LeakagePowerMW; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("power breakdown does not add up: %+v", rep)
+	}
+}
+
+func TestWNSZeroWhenMet(t *testing.T) {
+	tc := tech.Default()
+	lib := cells.NewLibrary(tc, tech.ClosedM1)
+	d := netlist.Generate(lib, netlist.DefaultGenConfig("wns", 300, 42))
+	p := layout.NewFloorplan(tc, d, 0.75)
+	if err := place.Global(p, place.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ClockPeriodNs = 1000 // absurdly relaxed
+	rep := Analyze(p, cfg, nil)
+	if rep.WNS != 0 {
+		t.Errorf("WNS = %f, want 0 with relaxed clock", rep.WNS)
+	}
+	cfg.ClockPeriodNs = 0.0001 // impossible
+	rep = Analyze(p, cfg, nil)
+	if rep.WNS >= 0 {
+		t.Errorf("WNS = %f, want negative with impossible clock", rep.WNS)
+	}
+}
+
+func TestLongerWiresSlowerAndHotter(t *testing.T) {
+	p, base := analyzedDesign(t, 500, 43)
+	inflate := func(ni int) int64 { return 10 * p.NetHPWL(ni) }
+	worse := Analyze(p, DefaultConfig(), inflate)
+	if worse.CritDelay <= base.CritDelay {
+		t.Errorf("inflated wires did not slow the design: %f vs %f",
+			worse.CritDelay, base.CritDelay)
+	}
+	if worse.TotalPowerMW <= base.TotalPowerMW {
+		t.Errorf("inflated wires did not raise power: %f vs %f",
+			worse.TotalPowerMW, base.TotalPowerMW)
+	}
+	if worse.LeakagePowerMW != base.LeakagePowerMW {
+		t.Error("leakage must not depend on wires")
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	_, a := analyzedDesign(t, 400, 44)
+	_, b := analyzedDesign(t, 400, 44)
+	if a != b {
+		t.Errorf("reports differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestPowerScalesWithSize(t *testing.T) {
+	_, small := analyzedDesign(t, 300, 45)
+	_, large := analyzedDesign(t, 1200, 45)
+	if large.TotalPowerMW <= 2*small.TotalPowerMW {
+		t.Errorf("power did not scale with size: %f vs %f",
+			large.TotalPowerMW, small.TotalPowerMW)
+	}
+}
