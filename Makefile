@@ -1,0 +1,27 @@
+# Developer targets. The tier-1 gate is `make check`; `make bench-json`
+# regenerates BENCH_core.json (minutes of wall time).
+
+GO ?= go
+
+.PHONY: check vet test race bench-smoke bench-json
+
+check: vet test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+# The race gate focuses on the packages with real concurrency (parallel
+# window solves sharing an objective tracker and per-worker LP arenas).
+race:
+	$(GO) test -race -timeout 20m ./internal/core/... ./internal/lp/... ./internal/milp/...
+
+# One iteration of each substrate microbenchmark — a fast sanity pass that
+# the benchmarks still build and run, not a measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'DistOptPass|LPSolve|CalculateObj' -benchtime 1x -timeout 20m .
+
+bench-json:
+	BENCH_JSON=1 $(GO) test -run TestEmitBenchCoreJSON -timeout 30m -v .

@@ -6,7 +6,9 @@
 package vm1place_test
 
 import (
+	"encoding/json"
 	"math/rand"
+	"os"
 	"testing"
 
 	"vm1place/internal/cells"
@@ -173,6 +175,49 @@ func BenchmarkDistOptPass(b *testing.B) {
 	}
 }
 
+// BenchmarkCalculateObjIncremental measures ObjTracker.ApplyMoves — the
+// incremental objective update DistOpt performs after every window family —
+// on batches of 16 random relocations (a typical family's accepted-move
+// count). Contrast with BenchmarkCalculateObjFull, the oracle rescan the
+// tracker replaces.
+func BenchmarkCalculateObjIncremental(b *testing.B) {
+	p := placedDesign(b, tech.ClosedM1, 800)
+	prm := core.DefaultParams(p.Tech, tech.ClosedM1)
+	tr := core.NewObjTracker(p, prm)
+	rng := rand.New(rand.NewSource(7))
+	moves := make([]core.Move, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := range moves {
+			inst := rng.Intn(len(p.Design.Insts))
+			wi := p.Design.Insts[inst].Master.WidthSites
+			moves[k] = core.Move{
+				Inst: inst,
+				Site: rng.Intn(p.NumSites - wi + 1),
+				Row:  rng.Intn(p.NumRows),
+				Flip: rng.Intn(2) == 0,
+			}
+		}
+		obj := tr.ApplyMoves(moves)
+		if obj.HPWL <= 0 {
+			b.Fatal("bad objective")
+		}
+	}
+}
+
+// BenchmarkCalculateObjFull measures the full-design objective rescan.
+func BenchmarkCalculateObjFull(b *testing.B) {
+	p := placedDesign(b, tech.ClosedM1, 800)
+	prm := core.DefaultParams(p.Tech, tech.ClosedM1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj := core.CalculateObj(p, prm)
+		if obj.HPWL <= 0 {
+			b.Fatal("bad objective")
+		}
+	}
+}
+
 // BenchmarkLPSolve measures the simplex on a random dense-ish LP.
 func BenchmarkLPSolve(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
@@ -195,6 +240,53 @@ func BenchmarkLPSolve(b *testing.B) {
 		if sol.Status != lp.Optimal {
 			b.Fatalf("status %s", sol.Status)
 		}
+	}
+}
+
+// TestEmitBenchCoreJSON regenerates BENCH_core.json, the machine-readable
+// record of the core-substrate microbenchmarks that the performance
+// acceptance gates compare against. Skipped unless BENCH_JSON is set (it
+// runs the real benchmarks, minutes of wall time):
+//
+//	BENCH_JSON=1 go test -run TestEmitBenchCoreJSON -timeout 30m .
+func TestEmitBenchCoreJSON(t *testing.T) {
+	if os.Getenv("BENCH_JSON") == "" {
+		t.Skip("set BENCH_JSON=1 to regenerate BENCH_core.json")
+	}
+	type entry struct {
+		NsPerOp     int64 `json:"ns_per_op"`
+		AllocsPerOp int64 `json:"allocs_per_op"`
+		BytesPerOp  int64 `json:"bytes_per_op"`
+		N           int   `json:"n"`
+	}
+	out := struct {
+		Note    string           `json:"note"`
+		Results map[string]entry `json:"results"`
+	}{
+		Note:    "regenerate with: BENCH_JSON=1 go test -run TestEmitBenchCoreJSON -timeout 30m .",
+		Results: map[string]entry{},
+	}
+	for name, fn := range map[string]func(*testing.B){
+		"DistOptPass":             BenchmarkDistOptPass,
+		"LPSolve":                 BenchmarkLPSolve,
+		"CalculateObjIncremental": BenchmarkCalculateObjIncremental,
+		"CalculateObjFull":        BenchmarkCalculateObjFull,
+	} {
+		r := testing.Benchmark(fn)
+		out.Results[name] = entry{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+		t.Logf("%s: %s", name, r)
+	}
+	buf, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_core.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -5,39 +5,90 @@ import (
 
 	"vm1place/internal/geom"
 	"vm1place/internal/layout"
+	"vm1place/internal/lp"
 )
+
+// passGrid is the window decomposition of one DistOpt call: the window
+// rectangles, the grid dimensions, and per-window instance buckets. The
+// perturbation and flip passes of one Algorithm 1 iteration use the same
+// offset (tx, ty), and a movable cell only ever relocates within the one
+// window that fully contains it, so the grid stays exact across the pass
+// pair and is computed once per iteration instead of once per pass.
+type passGrid struct {
+	rects    []geom.Rect
+	nwx, nwy int
+	buckets  [][]int
+}
+
+func makeGrid(p *layout.Placement, ps ParamSet, tx, ty int64) passGrid {
+	rects, nwx, nwy := partition(p, ps, tx, ty)
+	return passGrid{
+		rects:   rects,
+		nwx:     nwx,
+		nwy:     nwy,
+		buckets: bucketInsts(p, ps, tx, ty, nwx, nwy),
+	}
+}
+
+// newArenaPool builds one LP scratch arena per worker. Arenas are handed
+// out through the channel so a worker owns its arena exclusively for the
+// duration of one window solve; across families and passes the same arena
+// keeps serving windows, which preserves its warm-start state and avoids
+// re-allocating the dense basis inverse for every MILP.
+func newArenaPool(workers int) chan *lp.Arena {
+	pool := make(chan *lp.Arena, workers)
+	for i := 0; i < workers; i++ {
+		pool <- lp.NewArena()
+	}
+	return pool
+}
+
+func workersOf(prm Params) int {
+	if prm.Workers <= 0 {
+		return 1
+	}
+	return prm.Workers
+}
 
 // DistOpt is Algorithm 2: partition the layout into bw x bh windows at
 // offset (tx, ty), then optimize diagonal families of windows (disjoint x
 // and y projections, Figure 3) in parallel. allowMove/allowFlip select the
 // pass mode of Algorithm 1 (perturb with f=0, or flip-only with f=1).
 //
-// Each family is solved against a snapshot of the placement and applied
-// before the next family starts, so parallel solves never race; windows in
-// one family are disjoint, so applying their solutions cannot conflict.
+// This entry point builds a fresh objective tracker and grid for a single
+// standalone pass; VM1Opt drives distPass directly so the tracker, grid
+// and LP arenas persist across passes.
 func DistOpt(p *layout.Placement, prm Params, ps ParamSet, tx, ty int64,
 	allowMove, allowFlip bool) Objective {
-	rects, nwx, nwy := partition(p, ps, tx, ty)
-	buckets := bucketInsts(p, ps, tx, ty, nwx, nwy)
+	t := NewObjTracker(p, prm)
+	return distPass(t, ps, makeGrid(p, ps, tx, ty),
+		newArenaPool(workersOf(prm)), allowMove, allowFlip)
+}
 
-	workers := prm.Workers
-	if workers <= 0 {
-		workers = 1
-	}
+// distPass runs one DistOpt pass through an ObjTracker. Windows are built
+// against the live placement — every build in a family completes (and only
+// reads) before any of the family's moves are applied, and families with
+// disjoint projections never conflict, so no placement snapshot is needed.
+// Accepted relocations are funneled through t.ApplyMoves, which updates
+// only the nets incident to moved cells instead of rescanning the design.
+func distPass(t *ObjTracker, ps ParamSet, g passGrid, arenas chan *lp.Arena,
+	allowMove, allowFlip bool) Objective {
+	p, prm := t.p, t.prm
 
 	// Diagonal scheduling: family f holds windows with (wi - wj) ≡ f
 	// (mod D); within a family, window x indices and y indices are all
 	// distinct, so projections are disjoint.
-	d := nwx
-	if nwy > d {
-		d = nwy
+	d := g.nwx
+	if g.nwy > d {
+		d = g.nwy
 	}
+	var moves []Move
 	for f := 0; f < d; f++ {
 		var family []int
-		for wj := 0; wj < nwy; wj++ {
-			for wi := 0; wi < nwx; wi++ {
+		for wj := 0; wj < g.nwy; wj++ {
+			for wi := 0; wi < g.nwx; wi++ {
 				if ((wi-wj)%d+d)%d == f {
-					family = append(family, wj*nwx+wi)
+					family = append(family, wj*g.nwx+wi)
 				}
 			}
 		}
@@ -45,37 +96,43 @@ func DistOpt(p *layout.Placement, prm Params, ps ParamSet, tx, ty int64,
 			continue
 		}
 
-		snap := p.Clone()
 		type result struct {
 			w      *window
 			assign []int
 		}
 		results := make([]result, len(family))
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
 		for k, widx := range family {
 			wg.Add(1)
-			sem <- struct{}{}
-			go func(k, widx int) {
+			arena := <-arenas
+			go func(k, widx int, arena *lp.Arena) {
 				defer wg.Done()
-				defer func() { <-sem }()
-				w := buildWindow(snap, prm, rects[widx], ps, buckets[widx], allowMove, allowFlip)
+				defer func() { arenas <- arena }()
+				w := buildWindow(p, prm, g.rects[widx], ps, g.buckets[widx], allowMove, allowFlip)
+				w.scratch = arena
 				results[k] = result{w: w, assign: w.solve()}
-			}(k, widx)
+			}(k, widx, arena)
 		}
 		wg.Wait()
 
+		moves = moves[:0]
 		for _, res := range results {
 			if res.assign == nil {
 				continue
 			}
 			for ci, inst := range res.w.movable {
 				cd := res.w.cand[ci][res.assign[ci]]
-				p.SetLoc(inst, cd.site, cd.row, cd.flip)
+				if cd.site == p.SiteX[inst] && cd.row == p.Row[inst] && cd.flip == p.Flip[inst] {
+					continue // cell kept its placement; nothing to refresh
+				}
+				moves = append(moves, Move{Inst: inst, Site: cd.site, Row: cd.row, Flip: cd.flip})
 			}
 		}
+		if len(moves) > 0 {
+			t.ApplyMoves(moves)
+		}
 	}
-	return CalculateObj(p, prm)
+	return t.Objective()
 }
 
 // partition tiles the die with bw x bh windows offset by (tx, ty),

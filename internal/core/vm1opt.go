@@ -25,22 +25,29 @@ type Result struct {
 // until the relative objective improvement drops below θ; then advance to
 // the next parameter set.
 //
-// The placement is optimized in place and stays legal throughout.
+// The placement is optimized in place and stays legal throughout. One
+// ObjTracker carries the objective incrementally across every pass, the
+// window grid is computed once per perturb+flip pair (both passes share
+// the same offset), and each worker keeps one LP arena for the whole run
+// so warm starts survive across windows, families and passes.
 func VM1Opt(p *layout.Placement, prm Params, u Sequence) Result {
 	start := time.Now()
-	res := Result{Initial: CalculateObj(p, prm)}
+	t := NewObjTracker(p, prm)
+	res := Result{Initial: t.Objective()}
 	obj := res.Initial
+	arenas := newArenaPool(workersOf(prm))
 
 	for _, ps := range u {
 		var tx, ty int64
 		iters := 0
 		for {
 			preObj := obj.Value
+			g := makeGrid(p, ps, tx, ty)
 
 			// Perturbation pass: move within (lx, ly), keep orientation.
-			DistOpt(p, prm, ps, tx, ty, true, false)
+			distPass(t, ps, g, arenas, true, false)
 			// Flip pass: keep location, optimize orientation.
-			obj = DistOpt(p, prm, ps, tx, ty, false, true)
+			obj = distPass(t, ps, g, arenas, false, true)
 
 			// Shift windows to pick up previously-unoptimizable boundary
 			// cells (Section 4.2).
@@ -72,15 +79,17 @@ func VM1Opt(p *layout.Placement, prm Params, u Sequence) Result {
 // exists to reproduce that comparison.
 func VM1OptJoint(p *layout.Placement, prm Params, u Sequence) Result {
 	start := time.Now()
-	res := Result{Initial: CalculateObj(p, prm)}
+	t := NewObjTracker(p, prm)
+	res := Result{Initial: t.Objective()}
 	obj := res.Initial
+	arenas := newArenaPool(workersOf(prm))
 
 	for _, ps := range u {
 		var tx, ty int64
 		iters := 0
 		for {
 			preObj := obj.Value
-			obj = DistOpt(p, prm, ps, tx, ty, true, true)
+			obj = distPass(t, ps, makeGrid(p, ps, tx, ty), arenas, true, true)
 			tx += ps.BW / 2
 			ty += ps.BH / 2
 			res.History = append(res.History, obj)

@@ -4,6 +4,7 @@ import (
 	"vm1place/internal/cells"
 	"vm1place/internal/geom"
 	"vm1place/internal/layout"
+	"vm1place/internal/lp"
 	"vm1place/internal/netlist"
 	"vm1place/internal/tech"
 )
@@ -34,6 +35,11 @@ type window struct {
 
 	nets  []*winNet
 	pairs []*winPair
+
+	// scratch is the per-worker LP workspace threaded from DistOpt; the
+	// window MILP reuses it for every node relaxation. nil is allowed (the
+	// MILP solver then allocates a private arena).
+	scratch *lp.Arena
 }
 
 // winPin is a net terminal as seen by the window MILP: movable (cell index

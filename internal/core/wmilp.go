@@ -322,12 +322,22 @@ func (w *window) buildModel() (*lp.Model, *milp.Model, [][]int, float64) {
 func (w *window) solveMILP() []int {
 	m, mm, lambda, constK := w.buildModel()
 
-	// Incumbent: the input placement. The MILP works in model space
+	// Incumbent: the greedy coordinate-descent solution when it improves
+	// on the input placement, else the input placement itself. A near-
+	// optimal incumbent tightens branch-and-bound pruning from the first
+	// node, and its vertex doubles as the warm-start hint, which shortens
+	// the root relaxation's simplex path. The MILP works in model space
 	// (window objective minus the constant K), so all values handed to
 	// the solver are shifted consistently.
 	curObj := w.objective(w.curCand) - constK
+	start := w.curCand
+	if g := w.solveGreedy(); g != nil {
+		if gObj := w.objective(g) - constK; gObj < curObj {
+			start, curObj = g, gObj
+		}
+	}
 	incumbent := make([]float64, m.NumVars())
-	for ci, k := range w.curCand {
+	for ci, k := range start {
 		incumbent[lambda[ci][k]] = 1
 	}
 
@@ -358,24 +368,32 @@ func (w *window) solveMILP() []int {
 		return vec, w.objective(assign) - constK, true
 	}
 
+	// fallback is what to return when the MILP cannot beat the incumbent:
+	// the greedy improvement if there was one, else nil (keep the input).
+	var fallback []int
+	if &start[0] != &w.curCand[0] {
+		fallback = start
+	}
+
 	res := milp.Solve(mm, milp.Params{
 		MaxNodes:     w.prm.MaxNodes,
 		TimeLimit:    w.prm.TimeLimit,
 		Incumbent:    incumbent,
 		IncumbentObj: curObj,
 		Rounder:      rounder,
+		Scratch:      w.scratch,
 	})
 	if res.X == nil || res.Obj >= curObj-1e-6 {
-		return nil
+		return fallback
 	}
 	assign := decode(res.X)
 	if !w.feasibleAssign(assign) {
-		// Should not happen for MILP-feasible solutions; keep the input
-		// placement rather than corrupt it.
-		return nil
+		// Should not happen for MILP-feasible solutions; keep the best
+		// known assignment rather than corrupt the placement.
+		return fallback
 	}
 	if w.objective(assign)-constK >= curObj-1e-9 {
-		return nil
+		return fallback
 	}
 	return assign
 }

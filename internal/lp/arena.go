@@ -1,0 +1,139 @@
+package lp
+
+import "time"
+
+// Arena is a reusable scratch workspace for repeated solves. A single
+// branch-and-bound run over one window MILP re-solves the same Model
+// hundreds of times with different bounds; without a scratch arena every
+// solve allocates a fresh dense basis inverse (rows² floats) plus a dozen
+// working vectors, which makes allocation and GC the second-largest cost
+// of the optimizer after the simplex arithmetic itself.
+//
+// An Arena is owned by exactly one caller at a time (one DistOpt worker
+// goroutine, one MILP solve); it is not safe for concurrent use. Slices
+// grow monotonically and are reused across solves of any model — only the
+// columns/norm cache below is keyed to a specific model.
+type Arena struct {
+	// Model-keyed cache: the slack/artificial column structure, the
+	// pricing norms and the perturbed RHS depend only on the model's
+	// constraint matrix, which is immutable once rows are added (AddVar/
+	// AddRow change the dimensions and invalidate the key; SetObj touches
+	// only the objective, which is copied fresh every solve).
+	model        *Model
+	nVars, nRows int
+
+	cols    [][]entry
+	unit    []entry // backing store for slack/artificial unit columns
+	colNorm []float64
+	rhs     []float64 // perturbed RHS cache
+
+	// Per-solve working storage, reset by newSimplex/solve.
+	objP2      []float64
+	lo, hi     []float64
+	state      []varState
+	xN, xB     []float64
+	binv       []float64
+	basis      []int
+	inBasisRow []int
+	resid      []float64
+	phase1Obj  []float64
+	y, w       []float64
+	d, alpha   []float64 // dual-simplex reduced costs and pivot row
+	redCost    []float64 // Solution.RedCost backing store
+
+	// deadline, when set, makes iterate/dualIterate abort with IterLimit
+	// once wall time passes it, so a caller's time budget also interrupts
+	// long individual LP solves (big-window root relaxations), not just the
+	// gaps between them.
+	deadline time.Time
+	hasDL    bool
+
+	// Warm-start state: warm is set when the last solve of the bound model
+	// finished phase 2 optimal, so the basis factorization left in binv/
+	// basis/state/xN is dual feasible for any bound-change re-solve (branch-
+	// and-bound children). warmSolves counts consecutive warm solves; a
+	// periodic cold refresh bounds the eta-update drift accumulated in binv.
+	warm       bool
+	warmSolves int
+}
+
+// NewArena returns an empty scratch workspace.
+func NewArena() *Arena { return &Arena{} }
+
+// SetDeadline arms (or, with the zero time, disarms) the wall-clock abort
+// for every solve that uses this arena.
+func (a *Arena) SetDeadline(t time.Time) {
+	a.deadline = t
+	a.hasDL = !t.IsZero()
+}
+
+// bind points the arena at a model, rebuilding the model-keyed caches if
+// the model changed, and sizes all per-solve storage. It reports whether
+// the caches were reused.
+func (a *Arena) bind(m *Model) bool {
+	n := m.NumVars()
+	rows := m.NumRows()
+	nTotal := n + 2*rows
+	cached := a.model == m && a.nVars == n && a.nRows == rows
+	if !cached {
+		a.model, a.nVars, a.nRows = m, n, rows
+		a.warm = false
+		a.cols = growSlice(a.cols, nTotal)
+		copy(a.cols, m.cols)
+		a.unit = growSlice(a.unit, 2*rows)
+		for i := 0; i < rows; i++ {
+			a.unit[i] = entry{row: i, val: 1}
+			a.unit[rows+i] = entry{row: i, val: 1}
+			a.cols[n+i] = a.unit[i : i+1 : i+1]
+			a.cols[n+rows+i] = a.unit[rows+i : rows+i+1 : rows+i+1]
+		}
+		a.colNorm = a.colNorm[:0] // recomputed lazily by iterate
+		a.rhs = growSlice(a.rhs, rows)
+		copy(a.rhs, m.rhs)
+		perturbRHS(a.rhs)
+	}
+	a.objP2 = growSlice(a.objP2, nTotal)
+	a.lo = growSlice(a.lo, nTotal)
+	a.hi = growSlice(a.hi, nTotal)
+	a.state = growSlice(a.state, nTotal)
+	a.xN = growSlice(a.xN, nTotal)
+	a.xB = growSlice(a.xB, rows)
+	a.binv = growSlice(a.binv, rows*rows)
+	a.basis = growSlice(a.basis, rows)
+	a.inBasisRow = growSlice(a.inBasisRow, nTotal)
+	a.resid = growSlice(a.resid, rows)
+	a.phase1Obj = growSlice(a.phase1Obj, nTotal)
+	a.y = growSlice(a.y, rows)
+	a.w = growSlice(a.w, rows)
+	a.d = growSlice(a.d, nTotal)
+	a.alpha = growSlice(a.alpha, nTotal)
+	return cached
+}
+
+// growSlice returns s resized to length n, reusing its backing array when
+// capacity allows. Contents are unspecified.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// perturbRHS applies the deterministic tiny RHS shift that breaks the
+// heavy primal degeneracy of assignment-structured models (thousands of
+// stalled pivots otherwise). The shift is ~1e-9 of the problem scale, far
+// below integrality and pruning tolerances.
+func perturbRHS(rhs []float64) {
+	scale := 1.0
+	for _, b := range rhs {
+		if b > scale {
+			scale = b
+		} else if -b > scale {
+			scale = -b
+		}
+	}
+	for i := range rhs {
+		h := uint64(i+1) * 0x9E3779B97F4A7C15
+		rhs[i] += 1e-9 * scale * (float64(h%1024)/1024.0 + 0.1)
+	}
+}

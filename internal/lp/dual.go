@@ -1,0 +1,372 @@
+package lp
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Dual-simplex warm starts.
+//
+// A branch-and-bound driver re-solves one model hundreds of times where
+// consecutive solves differ only in variable bounds. Bound changes leave a
+// basis dual feasible (reduced costs depend on the objective and the basis,
+// not on the bounds), so the optimal basis of any previous solve is a valid
+// dual-simplex start for the next one: typically only the handful of basic
+// variables whose bounds tightened violate primality, and each is repaired
+// by one dual pivot. That turns an O(rows²)-per-pivot, hundreds-of-pivots
+// cold solve into a few pivots plus two dense mat-vecs — the difference
+// between window MILPs hitting their time budget and finishing it.
+
+// maxWarmSolves bounds consecutive warm solves before a forced cold
+// refresh. Each warm solve appends a few eta updates to the basis inverse
+// without refactorization; a periodic cold start (which rebuilds binv from
+// the identity) keeps the accumulated floating-point drift comparable to a
+// single cold solve's pivot count.
+const maxWarmSolves = 64
+
+// warmTol is the dual-feasibility and primal-violation tolerance of the
+// warm path; looser than costTol because the inherited basis carries drift.
+const warmTol = 1e-6
+
+// warmSolve attempts a dual-simplex solve from the basis the arena kept
+// from the previous optimal solve. It returns nil when warm starting is not
+// applicable or fails (dual infeasibility after an objective change,
+// iteration cap, numerical trouble); the caller then falls back to the cold
+// primal path, which rebuilds every piece of state warmSolve touched.
+func (s *simplex) warmSolve() *Solution {
+	a := s.arena
+	if !a.warm || a.warmSolves >= maxWarmSolves {
+		return nil
+	}
+	rows := s.nRows
+	s.state = a.state
+	s.xN = a.xN
+	s.basis = a.basis
+	s.inBasisRow = a.inBasisRow
+	s.binv = a.binv
+	s.xB = a.xB
+
+	// Re-park nonbasic variables on their (possibly changed) bounds. Free
+	// variables parked off-bound keep their value.
+	for j := 0; j < s.nTotal; j++ {
+		switch {
+		case s.state[j] == basic:
+		case s.state[j] == atUpper:
+			if math.IsInf(s.hi[j], 1) {
+				return nil
+			}
+			s.xN[j] = s.hi[j]
+		case !math.IsInf(s.lo[j], -1):
+			s.xN[j] = s.lo[j]
+		}
+	}
+
+	// Reduced costs d_j = c_j − y·A_j with y = c_B·Binv. Dual
+	// infeasibilities are repaired by bound flips below; computing d before
+	// xB lets the flips feed into the basic-value computation.
+	y := a.y
+	for k := 0; k < rows; k++ {
+		y[k] = 0
+	}
+	for i := 0; i < rows; i++ {
+		cb := s.objP2[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[i*rows : (i+1)*rows]
+		for k := 0; k < rows; k++ {
+			y[k] += cb * row[k]
+		}
+	}
+	d := a.d
+	for j := 0; j < s.nTotal; j++ {
+		if s.state[j] == basic {
+			d[j] = 0
+			continue
+		}
+		v := s.objP2[j]
+		for _, e := range s.cols[j] {
+			v -= y[e.row] * e.val
+		}
+		d[j] = v
+		if s.lo[j] == s.hi[j] && !math.IsInf(s.lo[j], 0) {
+			continue // fixed variable: any reduced cost is dual feasible
+		}
+		// Repair dual infeasibilities by bound flips: a nonbasic variable
+		// sitting at the wrong bound for its reduced-cost sign simply moves
+		// to the other bound (both stay nonbasic, the basis is untouched).
+		// These arise because primal pricing tolerances are column-norm
+		// scaled, so an “optimal” start can carry reduced costs slightly
+		// past warmTol on huge-coefficient columns.
+		switch {
+		case s.state[j] == atUpper:
+			if v > warmTol {
+				if math.IsInf(s.lo[j], -1) {
+					return nil
+				}
+				s.state[j] = atLower
+				s.xN[j] = s.lo[j]
+			}
+		case math.IsInf(s.lo[j], -1):
+			if math.Abs(v) > warmTol { // free variable needs d ≈ 0
+				return nil
+			}
+		default:
+			if v < -warmTol {
+				if math.IsInf(s.hi[j], 1) {
+					return nil
+				}
+				s.state[j] = atUpper
+				s.xN[j] = s.hi[j]
+			}
+		}
+	}
+
+	// xB = Binv · (b − Σ_{j nonbasic} A_j·xN_j).
+	resid := a.resid
+	copy(resid, s.rhs)
+	for j := 0; j < s.nTotal; j++ {
+		if s.state[j] == basic || s.xN[j] == 0 {
+			continue
+		}
+		v := s.xN[j]
+		for _, e := range s.cols[j] {
+			resid[e.row] -= e.val * v
+		}
+	}
+	for i := 0; i < rows; i++ {
+		row := s.binv[i*rows : (i+1)*rows]
+		sum := 0.0
+		for k := 0; k < rows; k++ {
+			sum += row[k] * resid[k]
+		}
+		s.xB[i] = sum
+	}
+
+	sol := s.dualIterate(d, rows+200)
+	if sol != nil {
+		a.warmSolves++
+	}
+	return sol
+}
+
+// dualIterate runs bounded-variable dual simplex from the current (dual
+// feasible) basis until primal feasibility, using the bound-flip ratio
+// test: within one iteration, candidates are taken in increasing dual
+// ratio; each that cannot absorb the leaving row's whole violation flips
+// to its opposite bound (O(rows), no basis change), and the first that can
+// performs the single actual pivot. One iteration therefore fully repairs
+// one violated row, so the pivot count tracks the number of bound changes
+// since the basis was optimal — a handful for branch-and-bound children.
+//
+// It returns a nil Solution when the caller should fall back to a cold
+// solve (iteration cap: the basis is too far from the new bounds to be
+// worth repairing), and an Infeasible Solution when the dual is unbounded
+// — the standard certificate that the new bounds admit no feasible point.
+// In both cases the basis remains dual feasible for future warm starts.
+func (s *simplex) dualIterate(d []float64, maxIters int) *Solution {
+	rows := s.nRows
+	alpha := s.arena.alpha
+	w := s.arena.w
+	type cand struct {
+		j     int
+		ratio float64
+	}
+	var cands []cand
+
+	// applyCol moves nonbasic variable j by t: xB -= t·(Binv·A_j), leaving
+	// the result in w for a subsequent pivot.
+	applyCol := func(j int, t float64) {
+		for i := 0; i < rows; i++ {
+			w[i] = 0
+		}
+		for _, e := range s.cols[j] {
+			v := e.val
+			for i := 0; i < rows; i++ {
+				w[i] += v * s.binv[i*rows+e.row]
+			}
+		}
+		if t != 0 {
+			for i := 0; i < rows; i++ {
+				s.xB[i] -= t * w[i]
+			}
+		}
+	}
+
+	for iters := 0; ; iters++ {
+		// Leaving row: the most violated basic variable.
+		r, viol := -1, warmTol
+		toUpper := false
+		for i := 0; i < rows; i++ {
+			bj := s.basis[i]
+			if v := s.lo[bj] - s.xB[i]; v > viol {
+				r, viol, toUpper = i, v, false
+			}
+			if v := s.xB[i] - s.hi[bj]; v > viol {
+				r, viol, toUpper = i, v, true
+			}
+		}
+		if r == -1 {
+			// Primal feasible and dual feasible throughout: optimal.
+			x := s.extractX()
+			obj := 0.0
+			for j := 0; j < s.nStruct; j++ {
+				obj += s.objP2[j] * x[j]
+			}
+			s.arena.redCost = growSlice(s.arena.redCost, s.nStruct)
+			rc := s.arena.redCost[:s.nStruct]
+			copy(rc, d[:s.nStruct])
+			return &Solution{Status: Optimal, Obj: obj, X: x, Iters: iters,
+				RedCost: rc}
+		}
+		if iters >= maxIters {
+			return nil
+		}
+		if s.arena.hasDL && iters&31 == 31 && time.Now().After(s.arena.deadline) {
+			return nil // the primal fallback aborts on the same deadline
+		}
+
+		out := s.basis[r]
+		target := s.lo[out]
+		if toUpper {
+			target = s.hi[out]
+		}
+		delta := s.xB[r] - target // >0 leaving to upper, <0 to lower
+
+		// Pivot row α_j = (e_r·Binv)·A_j; collect the candidates that can
+		// move in the direction that shrinks row r's violation, with their
+		// dual ratios |d_j/α_rj| (the θ at which reduced cost j would turn
+		// infeasible under the update d'_j = d_j − θ·α_rj).
+		brow := s.binv[r*rows : (r+1)*rows]
+		cands = cands[:0]
+		for j := 0; j < s.nTotal; j++ {
+			if s.state[j] == basic {
+				continue
+			}
+			av := 0.0
+			for _, e := range s.cols[j] {
+				av += brow[e.row] * e.val
+			}
+			alpha[j] = av
+			if math.Abs(av) < pivotTol {
+				continue
+			}
+			if s.lo[j] == s.hi[j] && !math.IsInf(s.lo[j], 0) {
+				continue // fixed variable cannot move
+			}
+			free := math.IsInf(s.lo[j], -1) && s.state[j] != atUpper
+			canInc := s.state[j] == atLower || free
+			canDec := s.state[j] == atUpper || free
+			if delta > 0 {
+				if !((canInc && av > 0) || (canDec && av < 0)) {
+					continue
+				}
+			} else {
+				if !((canInc && av < 0) || (canDec && av > 0)) {
+					continue
+				}
+			}
+			cands = append(cands, cand{j: j, ratio: math.Abs(d[j]) / math.Abs(av)})
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].ratio < cands[b].ratio })
+
+		// Walk candidates in ratio order, flipping each one whose range
+		// cannot absorb the remaining violation; the first that can absorb
+		// it becomes the pivot.
+		rem := delta
+		enter := -1
+		var tPivot float64
+		for _, c := range cands {
+			j := c.j
+			av := alpha[j]
+			dir := 1.0 // movement sign: need sign(av·dir) == sign(rem)
+			if (rem > 0) != (av > 0) {
+				dir = -1
+			}
+			tNeed := rem / (av * dir) // ≥ 0 by construction
+			rng := s.hi[j] - s.lo[j]  // +Inf for free variables
+			// The warmTol slack absorbs RHS-perturbation and drift epsilons:
+			// a candidate whose range covers the step up to tolerance pivots
+			// (entering ends at most warmTol past its bound, within the warm
+			// path's own violation tolerance) rather than flipping and
+			// leaving an epsilon remainder that would read as infeasible.
+			if tNeed <= rng+warmTol {
+				enter = j
+				tPivot = dir * tNeed
+				break
+			}
+			// Full flip to the opposite bound: no basis change, O(rows).
+			applyCol(j, dir*rng)
+			if dir > 0 {
+				s.state[j] = atUpper
+				s.xN[j] = s.hi[j]
+			} else {
+				s.state[j] = atLower
+				s.xN[j] = s.lo[j]
+			}
+			rem -= av * dir * rng
+		}
+		if enter == -1 {
+			// Dual unbounded ⇒ primal infeasible: even with every eligible
+			// column flipped to its far bound, row r cannot reach its bound.
+			// This is the standard dual-simplex infeasibility certificate;
+			// the basis stays dual feasible (flips and pivots preserved it),
+			// so later warm starts remain valid. Infeasible children are the
+			// common case under group branching, which makes certifying them
+			// in a few pivots — instead of a cold two-phase proof — a large
+			// share of the warm-start win.
+			return &Solution{Status: Infeasible, Iters: iters}
+		}
+
+		// Pivot: entering moves by tPivot, absorbing the rest of the
+		// violation; the leaving variable exits to the violated bound.
+		applyCol(enter, tPivot)
+		enterVal := s.xN[enter] + tPivot
+		s.inBasisRow[out] = -1
+		if toUpper {
+			s.state[out] = atUpper
+		} else {
+			s.state[out] = atLower
+		}
+		s.xN[out] = target
+		s.basis[r] = enter
+		s.inBasisRow[enter] = r
+		s.state[enter] = basic
+		s.xB[r] = enterVal
+
+		// Eta update of Binv (same transform as the primal path).
+		piv := w[r]
+		prow := s.binv[r*rows : (r+1)*rows]
+		inv := 1 / piv
+		for k := 0; k < rows; k++ {
+			prow[k] *= inv
+		}
+		for i := 0; i < rows; i++ {
+			if i == r {
+				continue
+			}
+			f := w[i]
+			if f == 0 {
+				continue
+			}
+			row := s.binv[i*rows : (i+1)*rows]
+			for k := 0; k < rows; k++ {
+				row[k] -= f * prow[k]
+			}
+		}
+
+		// Dual update: θ = d_enter/α_r,enter; d'_j = d_j − θ·α_rj for the
+		// still-nonbasic columns, d'_out = −θ (α_r,out = 1), d'_enter = 0.
+		theta := d[enter] / alpha[enter]
+		if theta != 0 {
+			for j := 0; j < s.nTotal; j++ {
+				if s.state[j] != basic && alpha[j] != 0 {
+					d[j] -= theta * alpha[j]
+				}
+			}
+		}
+		d[out] = -theta
+		d[enter] = 0
+	}
+}

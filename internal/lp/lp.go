@@ -15,6 +15,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Sense is a linear constraint's relational operator.
@@ -161,6 +162,11 @@ type Solution struct {
 	// IterLimit).
 	X     []float64
 	Iters int
+	// RedCost holds the structural variables' reduced costs at the final
+	// basis (valid when Status is Optimal; basic variables read 0). The
+	// slice is owned by the solve's Arena and overwritten by its next
+	// solve — callers must consume it before re-solving.
+	RedCost []float64
 }
 
 // Solve optimizes the model with its stored bounds.
@@ -179,6 +185,15 @@ func (m *Model) SolveWithBounds(lo, hi []float64) *Solution {
 // in branch and bound — drastically shortens phase 1. Hints never affect
 // correctness, only the starting basis.
 func (m *Model) SolveWithHint(lo, hi, hint []float64) *Solution {
+	return m.SolveWithScratch(lo, hi, hint, nil)
+}
+
+// SolveWithScratch is SolveWithHint with an explicit scratch arena.
+// Passing the same Arena across repeated solves (branch-and-bound node
+// relaxations, per-worker window solves) reuses all large working storage
+// — most importantly the dense rows² basis inverse — and the model-keyed
+// column/norm caches. A nil arena allocates a private one.
+func (m *Model) SolveWithScratch(lo, hi, hint []float64, a *Arena) *Solution {
 	if lo == nil {
 		lo = m.lo
 	}
@@ -191,7 +206,10 @@ func (m *Model) SolveWithHint(lo, hi, hint []float64) *Solution {
 	if hint != nil && len(hint) != len(m.obj) {
 		panic("lp: hint length mismatch")
 	}
-	s := newSimplex(m, lo, hi)
+	if a == nil {
+		a = NewArena()
+	}
+	s := newSimplex(m, lo, hi, a)
 	s.hint = hint
 	return s.solve()
 }
@@ -213,8 +231,10 @@ const (
 
 // simplex is one solve's working state. Total variables are structural
 // (0..n-1), then slacks (n..n+m-1), then artificials (n+m..n+2m-1).
+// All large vectors live in the arena and are reused across solves.
 type simplex struct {
-	m *Model
+	m     *Model
+	arena *Arena
 
 	nStruct int
 	nRows   int
@@ -237,47 +257,37 @@ type simplex struct {
 
 	// hint holds preferred starting values for structural variables.
 	hint []float64
-	// colNorm caches per-column Euclidean norms for scaled pricing.
-	colNorm []float64
 }
 
-func newSimplex(m *Model, lo, hi []float64) *simplex {
+func newSimplex(m *Model, lo, hi []float64, a *Arena) *simplex {
 	n := m.NumVars()
 	rows := m.NumRows()
+	a.bind(m)
 	s := &simplex{
 		m:       m,
+		arena:   a,
 		nStruct: n,
 		nRows:   rows,
 		nTotal:  n + 2*rows,
 	}
-	s.cols = make([][]entry, s.nTotal)
-	copy(s.cols, m.cols)
-	s.objP2 = make([]float64, s.nTotal)
+	// Columns and the perturbed RHS come from the arena's model-keyed
+	// cache (rebuilt by bind when the model changed); the objective and
+	// bound vectors are copied fresh every solve.
+	s.cols = a.cols
+	s.rhs = a.rhs
+	s.objP2 = a.objP2
 	copy(s.objP2, m.obj)
-	s.lo = make([]float64, s.nTotal)
-	s.hi = make([]float64, s.nTotal)
+	for j := n; j < s.nTotal; j++ {
+		s.objP2[j] = 0
+	}
+	s.lo = a.lo
+	s.hi = a.hi
 	copy(s.lo, lo)
 	copy(s.hi, hi)
-	s.rhs = append([]float64(nil), m.rhs...)
-	// Deterministic tiny RHS perturbation breaks the heavy primal
-	// degeneracy of assignment-structured models (thousands of stalled
-	// pivots otherwise). The shift is ~1e-9 of the problem scale, far
-	// below integrality and pruning tolerances.
-	scale := 1.0
-	for _, b := range s.rhs {
-		if math.Abs(b) > scale {
-			scale = math.Abs(b)
-		}
-	}
-	for i := range s.rhs {
-		h := uint64(i+1) * 0x9E3779B97F4A7C15
-		s.rhs[i] += 1e-9 * scale * (float64(h%1024)/1024.0 + 0.1)
-	}
 
 	// Slacks: row i gets slack n+i with bounds by sense.
 	for i := 0; i < rows; i++ {
 		j := n + i
-		s.cols[j] = []entry{{row: i, val: 1}}
 		switch m.sense[i] {
 		case LE:
 			s.lo[j], s.hi[j] = 0, math.Inf(1)
@@ -290,7 +300,6 @@ func newSimplex(m *Model, lo, hi []float64) *simplex {
 	// Artificials: row i gets n+rows+i; bounds set during phase 1 setup.
 	for i := 0; i < rows; i++ {
 		j := n + rows + i
-		s.cols[j] = []entry{{row: i, val: 1}}
 		s.lo[j], s.hi[j] = 0, 0
 	}
 
@@ -325,28 +334,45 @@ func (s *simplex) boundedStart(j int) (float64, varState) {
 }
 
 func (s *simplex) solve() *Solution {
-	n, rows := s.nStruct, s.nRows
+	// Dual-simplex warm start from the previous solve's optimal basis (see
+	// dual.go); bound-change re-solves usually finish in a few pivots. The
+	// cold path below is the fallback and rebuilds all state from scratch.
+	if sol := s.warmSolve(); sol != nil {
+		return sol
+	}
+	s.arena.warm = false
+	return s.primalColdSolve()
+}
 
-	s.state = make([]varState, s.nTotal)
-	s.xN = make([]float64, s.nTotal)
-	s.basis = make([]int, rows)
-	s.inBasisRow = make([]int, s.nTotal)
-	for j := range s.inBasisRow {
+func (s *simplex) primalColdSolve() *Solution {
+	n, rows := s.nStruct, s.nRows
+	s.state = s.arena.state
+	s.xN = s.arena.xN
+	s.basis = s.arena.basis
+	s.inBasisRow = s.arena.inBasisRow
+	for j := 0; j < s.nTotal; j++ {
 		s.inBasisRow[j] = -1
 	}
-	s.binv = make([]float64, rows*rows)
-	s.xB = make([]float64, rows)
+	s.binv = s.arena.binv
+	clear(s.binv)
+	s.xB = s.arena.xB
 
-	// All structural and slack variables start nonbasic at a bound.
+	// All structural and slack variables start nonbasic at a bound;
+	// artificials start fixed at zero (the crash loop below releases the
+	// ones that phase 1 needs).
 	for j := 0; j < n+rows; j++ {
 		v, st := s.boundedStart(j)
 		s.xN[j] = v
 		s.state[j] = st
 	}
+	for j := n + rows; j < s.nTotal; j++ {
+		s.xN[j] = 0
+		s.state[j] = atLower
+	}
 
 	// Residuals with all structural and slack variables at their starting
 	// bounds.
-	resid := make([]float64, rows)
+	resid := s.arena.resid
 	copy(resid, s.rhs)
 	for j := 0; j < n+rows; j++ {
 		if s.xN[j] == 0 {
@@ -361,7 +387,8 @@ func (s *simplex) solve() *Solution {
 	// gets the slack as its (feasible) basic variable; only the violated
 	// rows receive a unit-cost artificial. With a good warm-start hint,
 	// most rows start feasible and phase 1 is short or skipped entirely.
-	phase1Obj := make([]float64, s.nTotal)
+	phase1Obj := s.arena.phase1Obj
+	clear(phase1Obj)
 	needPhase1 := false
 	for i := 0; i < rows; i++ {
 		sj := n + i
@@ -425,7 +452,12 @@ func (s *simplex) solve() *Solution {
 	case IterLimit:
 		return &Solution{Status: IterLimit, Obj: obj, X: x, Iters: totalIters}
 	default:
-		return &Solution{Status: Optimal, Obj: obj, X: x, Iters: totalIters}
+		// The final basis is optimal, hence dual feasible for any bounds:
+		// keep it in the arena for dual-simplex warm starts.
+		s.arena.warm = true
+		s.arena.warmSolves = 0
+		return &Solution{Status: Optimal, Obj: obj, X: x, Iters: totalIters,
+			RedCost: s.redCosts()}
 	}
 }
 
@@ -460,27 +492,41 @@ func (s *simplex) extractX() []float64 {
 // iteration ends as soon as the objective reaches zero.
 func (s *simplex) iterate(obj []float64, stopAtZero bool) (Status, int) {
 	rows := s.nRows
-	y := make([]float64, rows)
-	w := make([]float64, rows)
+	y := s.arena.y
+	w := s.arena.w
 	iters := 0
 	degenerate := 0
 
 	// Static steepest-edge-style pricing weights: reduced costs are
 	// compared after scaling by column norm, which keeps huge-coefficient
 	// columns (big-G indicator rows, DBU-scale coordinates) from starving
-	// the cheap structural pivots.
-	if s.colNorm == nil {
-		s.colNorm = make([]float64, s.nTotal)
+	// the cheap structural pivots. The norms depend only on the constraint
+	// matrix, so they live in the arena's model-keyed cache and survive
+	// across the hundreds of re-solves of one branch-and-bound run.
+	if len(s.arena.colNorm) < s.nTotal {
+		s.arena.colNorm = growSlice(s.arena.colNorm, s.nTotal)
 		for j := 0; j < s.nTotal; j++ {
 			sum := 1.0
 			for _, e := range s.cols[j] {
 				sum += e.val * e.val
 			}
-			s.colNorm[j] = math.Sqrt(sum)
+			s.arena.colNorm[j] = math.Sqrt(sum)
 		}
 	}
+	colNorm := s.arena.colNorm
+
+	// y = c_B^T·Binv is maintained incrementally: a pivot replaces one
+	// entry of c_B and applies one eta transform to Binv, which works out
+	// to y += d_enter · (new pivot row of Binv) — O(rows) instead of the
+	// O(rows²) full recomputation. The full product is refreshed
+	// periodically to wash out floating-point drift.
+	yDirty := true
+	const yRefresh = 64
 
 	for ; iters < s.maxIters; iters++ {
+		if s.arena.hasDL && iters&31 == 0 && time.Now().After(s.arena.deadline) {
+			return IterLimit, iters
+		}
 		if stopAtZero {
 			v := 0.0
 			for i := 0; i < rows; i++ {
@@ -492,26 +538,29 @@ func (s *simplex) iterate(obj []float64, stopAtZero bool) (Status, int) {
 				return Optimal, iters
 			}
 		}
-		// y = c_B^T * Binv
-		for i := 0; i < rows; i++ {
-			y[i] = 0
-		}
-		for i := 0; i < rows; i++ {
-			cb := obj[s.basis[i]]
-			if cb == 0 {
-				continue
+		if yDirty || iters%yRefresh == 0 {
+			// y = c_B^T * Binv
+			for i := 0; i < rows; i++ {
+				y[i] = 0
 			}
-			row := s.binv[i*rows : (i+1)*rows]
-			for k := 0; k < rows; k++ {
-				y[k] += cb * row[k]
+			for i := 0; i < rows; i++ {
+				cb := obj[s.basis[i]]
+				if cb == 0 {
+					continue
+				}
+				row := s.binv[i*rows : (i+1)*rows]
+				for k := 0; k < rows; k++ {
+					y[k] += cb * row[k]
+				}
 			}
+			yDirty = false
 		}
 
 		// Pricing: pick entering variable. Dantzig rule normally; Bland
 		// after a run of degenerate pivots to guarantee termination.
 		useBland := degenerate > 2*rows+20
 		enter := -1
-		var enterDir float64
+		var enterDir, enterD float64
 		best := -costTol
 		for j := 0; j < s.nTotal; j++ {
 			if s.state[j] == basic {
@@ -537,16 +586,18 @@ func (s *simplex) iterate(obj []float64, stopAtZero bool) (Status, int) {
 			default:
 				continue
 			}
-			score := -math.Abs(d) / s.colNorm[j]
+			score := -math.Abs(d) / colNorm[j]
 			if useBland {
 				enter = j
 				enterDir = dir
+				enterD = d
 				break
 			}
 			if score < best {
 				best = score
 				enter = j
 				enterDir = dir
+				enterD = d
 			}
 		}
 		if enter == -1 {
@@ -664,6 +715,37 @@ func (s *simplex) iterate(obj []float64, stopAtZero bool) (Status, int) {
 				row[k] -= f * prow[k]
 			}
 		}
+
+		// Incremental dual update: with c_B's leave entry swapped to the
+		// entering column's cost, y' = c_B'·Binv' = y + d_enter·(Binv'
+		// pivot row), where d_enter is the entering reduced cost computed
+		// during pricing.
+		if enterD != 0 {
+			for k := 0; k < rows; k++ {
+				y[k] += enterD * prow[k]
+			}
+		}
 	}
 	return IterLimit, iters
+}
+
+// redCosts computes the structural reduced costs at the current basis into
+// the arena's buffer, using the dual vector the last pricing round left in
+// the arena (exact for the final basis: no pivot follows the last pricing).
+func (s *simplex) redCosts() []float64 {
+	s.arena.redCost = growSlice(s.arena.redCost, s.nStruct)
+	rc := s.arena.redCost[:s.nStruct]
+	y := s.arena.y
+	for j := 0; j < s.nStruct; j++ {
+		if s.state[j] == basic {
+			rc[j] = 0
+			continue
+		}
+		v := s.objP2[j]
+		for _, e := range s.cols[j] {
+			v -= y[e.row] * e.val
+		}
+		rc[j] = v
+	}
+	return rc
 }

@@ -95,6 +95,11 @@ type Params struct {
 	// into a feasible integral one, returning the repaired vector, its
 	// true objective, and ok. Used as a primal heuristic at every node.
 	Rounder func(x []float64) ([]float64, float64, bool)
+	// Scratch, when non-nil, is the LP workspace reused across every node
+	// relaxation of this solve (and across solves sharing the arena, e.g.
+	// one DistOpt worker's window sequence). nil allocates a private one,
+	// so arena reuse within a solve is always on.
+	Scratch *lp.Arena
 }
 
 // Result is the outcome of a Solve.
@@ -125,6 +130,8 @@ type solver struct {
 	maxNodes  int
 	bestBound float64
 	aborted   bool
+
+	scratch *lp.Arena
 }
 
 // Solve runs branch and bound.
@@ -157,9 +164,20 @@ func Solve(m *Model, p Params) Result {
 		s.hasBest = true
 	}
 	s.bestBound = math.Inf(-1)
+	s.scratch = p.Scratch
+	if s.scratch == nil {
+		s.scratch = lp.NewArena()
+	}
+	if s.hasDL {
+		// Interrupt long individual relaxation solves too (a big window's
+		// root LP can exceed the whole time budget), not just the
+		// between-node checks in branch.
+		s.scratch.SetDeadline(s.deadline)
+		defer s.scratch.SetDeadline(time.Time{})
+	}
 
 	lo, hi := m.LP.Bounds()
-	rootBound := s.branch(lo, hi, true)
+	rootBound := s.branch(lo, hi, p.Incumbent, true)
 	if !s.aborted {
 		s.bestBound = rootBound
 	}
@@ -177,9 +195,12 @@ func Solve(m *Model, p Params) Result {
 }
 
 // branch explores the subproblem with the given bounds and returns its
-// proven lower bound (+Inf when pruned infeasible). root marks the root
-// node for bound bookkeeping.
-func (s *solver) branch(lo, hi []float64, root bool) float64 {
+// proven lower bound (+Inf when pruned infeasible). hint warm-starts the
+// node relaxation: the root uses the caller's incumbent, children their
+// parent's LP optimum, which is near-feasible for the child's slightly
+// tightened bounds and keeps both simplex phases short deep in the tree.
+// root marks the root node for bound bookkeeping.
+func (s *solver) branch(lo, hi, hint []float64, root bool) float64 {
 	if s.aborted {
 		return math.Inf(-1)
 	}
@@ -189,7 +210,7 @@ func (s *solver) branch(lo, hi []float64, root bool) float64 {
 	}
 	s.nodes++
 
-	sol := s.m.LP.SolveWithHint(lo, hi, s.p.Incumbent)
+	sol := s.m.LP.SolveWithScratch(lo, hi, hint, s.scratch)
 	switch sol.Status {
 	case lp.Infeasible:
 		return math.Inf(1)
@@ -206,6 +227,40 @@ func (s *solver) branch(lo, hi []float64, root bool) float64 {
 	}
 	if s.hasBest && sol.Obj >= s.bestObj-s.p.AbsGap {
 		return sol.Obj // pruned by bound
+	}
+
+	// Reduced-cost fixing: a nonbasic integer variable whose reduced cost
+	// exceeds the incumbent gap cannot leave its bound in any solution that
+	// improves the incumbent by more than AbsGap, so it is fixed there for
+	// the whole subtree. With a near-optimal incumbent this collapses most
+	// exactly-one groups to a handful of candidates and is the main reason
+	// window searches finish instead of timing out.
+	if s.hasBest && sol.RedCost != nil {
+		gap := s.bestObj - s.p.AbsGap - sol.Obj
+		var lo2, hi2 []float64
+		for _, j := range s.m.Ints {
+			if lo[j] >= hi[j] {
+				continue
+			}
+			d := sol.RedCost[j]
+			if d > gap && sol.X[j] <= lo[j]+intTol {
+				if hi2 == nil {
+					hi2 = append([]float64(nil), hi...)
+				}
+				hi2[j] = lo[j]
+			} else if -d > gap && sol.X[j] >= hi[j]-intTol {
+				if lo2 == nil {
+					lo2 = append([]float64(nil), lo...)
+				}
+				lo2[j] = hi[j]
+			}
+		}
+		if lo2 != nil {
+			lo = lo2
+		}
+		if hi2 != nil {
+			hi = hi2
+		}
 	}
 
 	fracVar := s.mostFractional(sol.X)
@@ -234,7 +289,7 @@ func (s *solver) branch(lo, hi []float64, root bool) float64 {
 	if gi := s.inGroup[fracVar]; gi >= 0 {
 		b1, b2 = s.branchGroup(lo, hi, gi, sol.X)
 	} else {
-		b1, b2 = s.branchVar(lo, hi, fracVar, sol.X[fracVar])
+		b1, b2 = s.branchVar(lo, hi, fracVar, sol.X)
 	}
 	return math.Min(b1, b2)
 }
@@ -255,22 +310,23 @@ func (s *solver) mostFractional(x []float64) int {
 	return best
 }
 
-// branchVar performs the classic floor/ceil dichotomy on variable j.
-func (s *solver) branchVar(lo, hi []float64, j int, v float64) (float64, float64) {
-	fl := math.Floor(v)
+// branchVar performs the classic floor/ceil dichotomy on variable j. x is
+// the parent relaxation's solution, reused as the children's warm start.
+func (s *solver) branchVar(lo, hi []float64, j int, x []float64) (float64, float64) {
+	fl := math.Floor(x[j])
 
 	hi2 := append([]float64(nil), hi...)
 	hi2[j] = fl
 	var bDown float64 = math.Inf(1)
 	if lo[j] <= fl {
-		bDown = s.branch(lo, hi2, false)
+		bDown = s.branch(lo, hi2, x, false)
 	}
 
 	lo2 := append([]float64(nil), lo...)
 	lo2[j] = fl + 1
 	var bUp float64 = math.Inf(1)
 	if hi[j] >= fl+1 {
-		bUp = s.branch(lo2, hi, false)
+		bUp = s.branch(lo2, hi, x, false)
 	}
 	return bDown, bUp
 }
@@ -321,13 +377,13 @@ func (s *solver) branchGroup(lo, hi []float64, gi int, x []float64) (float64, fl
 			hiA[j] = 0
 		}
 	}
-	bA := s.branch(lo, hiA, false)
+	bA := s.branch(lo, hiA, x, false)
 
 	// Child B: winner outside S (zero S).
 	hiB := append([]float64(nil), hi...)
 	for i := 0; i < cut; i++ {
 		hiB[active[i]] = 0
 	}
-	bB := s.branch(lo, hiB, false)
+	bB := s.branch(lo, hiB, x, false)
 	return bA, bB
 }
