@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet test race bench-smoke bench-json
+.PHONY: check vet test race bench-smoke bench-json bench-route
 
 check: vet test race bench-smoke
 
@@ -14,9 +14,10 @@ test:
 	$(GO) build ./... && $(GO) test ./...
 
 # The race gate focuses on the packages with real concurrency (parallel
-# window solves sharing an objective tracker and per-worker LP arenas).
+# window solves sharing an objective tracker and per-worker LP arenas, and
+# the batched parallel router sharing live usage arrays).
 race:
-	$(GO) test -race -timeout 20m ./internal/core/... ./internal/lp/... ./internal/milp/...
+	$(GO) test -race -timeout 20m ./internal/core/... ./internal/lp/... ./internal/milp/... ./internal/route/...
 
 # One iteration of each substrate microbenchmark — a fast sanity pass that
 # the benchmarks still build and run, not a measurement.
@@ -25,3 +26,8 @@ bench-smoke:
 
 bench-json:
 	BENCH_JSON=1 $(GO) test -run TestEmitBenchCoreJSON -timeout 30m -v .
+
+# Regenerates BENCH_route.json: the sequential/parallel RouteAll pair plus
+# the speedup over the seed router, with a Metrics-equality check.
+bench-route:
+	BENCH_JSON=1 $(GO) test -run TestEmitBenchRouteJSON -timeout 30m -v .

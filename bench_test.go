@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 
 	"vm1place/internal/cells"
@@ -137,10 +138,28 @@ func BenchmarkGlobalPlace(b *testing.B) {
 	}
 }
 
-// BenchmarkRouteClosedM1 measures a full routing pass.
+// BenchmarkRouteClosedM1 measures a full routing pass at the default
+// worker count (kept under its seed name so runs stay comparable across
+// the repo's history).
 func BenchmarkRouteClosedM1(b *testing.B) {
+	benchRouteAll(b, 0)
+}
+
+// BenchmarkRouteAllSeq is the sequential routing baseline (Workers=1).
+func BenchmarkRouteAllSeq(b *testing.B) { benchRouteAll(b, 1) }
+
+// BenchmarkRouteAllPar routes with Workers=GOMAXPROCS. Metrics are
+// bit-identical to the sequential run by construction (see
+// internal/route/parallel.go); only wall time may differ.
+func BenchmarkRouteAllPar(b *testing.B) { benchRouteAll(b, runtime.GOMAXPROCS(0)) }
+
+func benchRouteAll(b *testing.B, workers int) {
 	p := placedDesign(b, tech.ClosedM1, 2000)
-	r := route.New(p, route.DefaultConfig(p.Tech, tech.ClosedM1))
+	cfg := route.DefaultConfig(p.Tech, tech.ClosedM1)
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	r := route.New(p, cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := r.RouteAll()
@@ -286,6 +305,91 @@ func TestEmitBenchCoreJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_core.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// routeSeedBaselineNs is BenchmarkRouteClosedM1 on the seed router
+// (commit 5741a52, sequential engine with map-based A* state), the
+// reference the ≥2× routing-speedup gate is measured against.
+const routeSeedBaselineNs = 3116376386
+
+// TestEmitBenchRouteJSON regenerates BENCH_route.json: the sequential /
+// parallel RouteAll pair, the speedup over the seed router, and a check
+// that both worker counts produced identical Metrics. Skipped unless
+// BENCH_JSON is set:
+//
+//	BENCH_JSON=1 go test -run TestEmitBenchRouteJSON -timeout 30m .
+func TestEmitBenchRouteJSON(t *testing.T) {
+	if os.Getenv("BENCH_JSON") == "" {
+		t.Skip("set BENCH_JSON=1 to regenerate BENCH_route.json")
+	}
+	type entry struct {
+		NsPerOp     int64 `json:"ns_per_op"`
+		AllocsPerOp int64 `json:"allocs_per_op"`
+		BytesPerOp  int64 `json:"bytes_per_op"`
+		N           int   `json:"n"`
+		Workers     int   `json:"workers"`
+	}
+
+	// The speedup claim is only meaningful if the engines agree exactly.
+	tc := tech.Default()
+	lib := cells.NewLibrary(tc, tech.ClosedM1)
+	d := netlist.Generate(lib, netlist.DefaultGenConfig("bench", 2000, 5))
+	p := layout.NewFloorplan(tc, d, 0.75)
+	if err := place.Global(p, place.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := route.DefaultConfig(tc, tech.ClosedM1)
+	cfg.Workers = 1
+	mSeq := route.New(p, cfg).RouteAll()
+	cfg.Workers = runtime.GOMAXPROCS(0)
+	mPar := route.New(p, cfg).RouteAll()
+	if mSeq != mPar {
+		t.Fatalf("Metrics diverge between worker counts:\nseq %+v\npar %+v", mSeq, mPar)
+	}
+
+	seq := testing.Benchmark(BenchmarkRouteAllSeq)
+	par := testing.Benchmark(BenchmarkRouteAllPar)
+	out := struct {
+		Note             string           `json:"note"`
+		SeedCommit       string           `json:"seed_commit"`
+		SeedNsPerOp      int64            `json:"seed_ns_per_op"`
+		GOMAXPROCS       int              `json:"gomaxprocs"`
+		MetricsIdentical bool             `json:"metrics_identical"`
+		SpeedupVsSeed    float64          `json:"speedup_vs_seed"`
+		Results          map[string]entry `json:"results"`
+	}{
+		Note:             "regenerate with: BENCH_JSON=1 go test -run TestEmitBenchRouteJSON -timeout 30m . (or make bench-route)",
+		SeedCommit:       "5741a52",
+		SeedNsPerOp:      routeSeedBaselineNs,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		MetricsIdentical: true,
+		SpeedupVsSeed:    float64(routeSeedBaselineNs) / float64(par.NsPerOp()),
+		Results: map[string]entry{
+			"RouteAllSeq": {
+				NsPerOp:     seq.NsPerOp(),
+				AllocsPerOp: seq.AllocsPerOp(),
+				BytesPerOp:  seq.AllocedBytesPerOp(),
+				N:           seq.N,
+				Workers:     1,
+			},
+			"RouteAllPar": {
+				NsPerOp:     par.NsPerOp(),
+				AllocsPerOp: par.AllocsPerOp(),
+				BytesPerOp:  par.AllocedBytesPerOp(),
+				N:           par.N,
+				Workers:     runtime.GOMAXPROCS(0),
+			},
+		},
+	}
+	t.Logf("RouteAllSeq: %s", seq)
+	t.Logf("RouteAllPar: %s (%.2fx vs seed)", par, out.SpeedupVsSeed)
+	buf, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_route.json", append(buf, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
 }

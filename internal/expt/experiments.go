@@ -3,6 +3,8 @@ package expt
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"vm1place/internal/core"
@@ -14,6 +16,47 @@ import (
 type SuiteConfig struct {
 	Scale   float64
 	Workers int
+	// FlowParallel runs up to that many independent flow points of a sweep
+	// (Fig. 5-8 samples, Table 2 designs) concurrently. Each point builds
+	// its own placement and router, and output order matches the
+	// sequential loop. Placement and routing are fully deterministic; the
+	// optimizer's window MILPs are wall-clock budgeted, so point values
+	// carry the same small run-to-run variance they have sequentially
+	// (CPU contention can shrink the explored node count). When >1, set
+	// Workers to a small value so points do not oversubscribe the machine.
+	FlowParallel int
+}
+
+// forEachPoint evaluates fn(i) for i in [0, n), running up to
+// cfg.FlowParallel points concurrently. Callers store results by index, so
+// output order matches the sequential loop exactly.
+func (c SuiteConfig) forEachPoint(n int, fn func(int)) {
+	par := c.FlowParallel
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < par; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // design returns the (possibly scaled) spec for a paper design name.
@@ -50,23 +93,32 @@ func RunFig5(cfg SuiteConfig, windowsUm []float64, perturbations [][2]int) []Fig
 		perturbations = [][2]int{{4, 1}}
 	}
 	spec := cfg.design("aes")
-	var out []Fig5Point
+	type fig5Case struct {
+		um float64
+		lp [2]int
+	}
+	var cases []fig5Case
 	for _, um := range windowsUm {
 		for _, lp := range perturbations {
-			r := RunFlow(spec, FlowConfig{
-				Arch: tech.ClosedM1,
-				Sequence: core.Sequence{{
-					BW: UmToDBU(um), BH: UmToDBU(um), LX: lp[0], LY: lp[1],
-				}},
-				MaxOuterIters: 1,
-				Workers:       cfg.Workers,
-			})
-			out = append(out, Fig5Point{
-				WindowUm: um, LX: lp[0], LY: lp[1],
-				RWL: r.Final.RWL, Runtime: r.OptRuntime,
-			})
+			cases = append(cases, fig5Case{um, lp})
 		}
 	}
+	out := make([]Fig5Point, len(cases))
+	cfg.forEachPoint(len(cases), func(i int) {
+		c := cases[i]
+		r := RunFlow(spec, FlowConfig{
+			Arch: tech.ClosedM1,
+			Sequence: core.Sequence{{
+				BW: UmToDBU(c.um), BH: UmToDBU(c.um), LX: c.lp[0], LY: c.lp[1],
+			}},
+			MaxOuterIters: 1,
+			Workers:       cfg.Workers,
+		})
+		out[i] = Fig5Point{
+			WindowUm: c.um, LX: c.lp[0], LY: c.lp[1],
+			RWL: r.Final.RWL, Runtime: r.OptRuntime,
+		}
+	})
 	return out
 }
 
@@ -105,8 +157,9 @@ func RunFig6(cfg SuiteConfig, arch tech.Arch, alphas []float64) []Fig6Point {
 		alphas = []float64{0, 10, 100, 400, 800, 1200, 2000, 4000, 6000}
 	}
 	spec := cfg.design("aes")
-	var out []Fig6Point
-	for _, a := range alphas {
+	out := make([]Fig6Point, len(alphas))
+	cfg.forEachPoint(len(alphas), func(i int) {
+		a := alphas[i]
 		r := RunFlow(spec, FlowConfig{
 			Arch:          arch,
 			Alpha:         a,
@@ -114,8 +167,8 @@ func RunFig6(cfg SuiteConfig, arch tech.Arch, alphas []float64) []Fig6Point {
 			MaxOuterIters: 2,
 			Workers:       cfg.Workers,
 		})
-		out = append(out, Fig6Point{Alpha: a, RWL: r.Final.RWL, DM1: r.Final.DM1})
-	}
+		out[i] = Fig6Point{Alpha: a, RWL: r.Final.RWL, DM1: r.Final.DM1}
+	})
 	return out
 }
 
@@ -158,8 +211,9 @@ func RunFig7(cfg SuiteConfig, seqs []SequenceSpec) []Fig7Point {
 		seqs = PaperSequences
 	}
 	spec := cfg.design("aes")
-	var out []Fig7Point
-	for _, ss := range seqs {
+	out := make([]Fig7Point, len(seqs))
+	cfg.forEachPoint(len(seqs), func(i int) {
+		ss := seqs[i]
 		var u core.Sequence
 		for _, st := range ss.Steps {
 			u = append(u, core.ParamSet{
@@ -173,8 +227,8 @@ func RunFig7(cfg SuiteConfig, seqs []SequenceSpec) []Fig7Point {
 			MaxOuterIters: 2,
 			Workers:       cfg.Workers,
 		})
-		out = append(out, Fig7Point{Name: ss.Name, RWL: r.Final.RWL, Runtime: r.OptRuntime})
-	}
+		out[i] = Fig7Point{Name: ss.Name, RWL: r.Final.RWL, Runtime: r.OptRuntime}
+	})
 	return out
 }
 
@@ -191,11 +245,11 @@ func WriteFig7(w io.Writer, pts []Fig7Point) {
 
 // RunTable2 runs the full flow on every design for one architecture.
 func RunTable2(cfg SuiteConfig, arch tech.Arch) []FlowResult {
-	var out []FlowResult
-	for _, d := range PaperDesigns {
-		spec := cfg.design(d.Name)
-		out = append(out, RunFlow(spec, FlowConfig{Arch: arch, Workers: cfg.Workers}))
-	}
+	out := make([]FlowResult, len(PaperDesigns))
+	cfg.forEachPoint(len(PaperDesigns), func(i int) {
+		spec := cfg.design(PaperDesigns[i].Name)
+		out[i] = RunFlow(spec, FlowConfig{Arch: arch, Workers: cfg.Workers})
+	})
 	return out
 }
 
@@ -225,13 +279,14 @@ func RunFig8(cfg SuiteConfig, utils []float64) []Fig8Point {
 		utils = []float64{0.75, 0.78, 0.81, 0.82, 0.83, 0.84}
 	}
 	spec := cfg.design("aes")
-	var out []Fig8Point
-	for _, u := range utils {
+	out := make([]Fig8Point, len(utils))
+	cfg.forEachPoint(len(utils), func(i int) {
+		u := utils[i]
 		r := RunFlow(spec, FlowConfig{Arch: tech.ClosedM1, Util: u, Workers: cfg.Workers})
-		out = append(out, Fig8Point{
+		out[i] = Fig8Point{
 			Util: u, DRVsOrig: r.Init.DRVs, DRVsOpt: r.Final.DRVs, DM1: r.Final.DM1,
-		})
-	}
+		}
+	})
 	return out
 }
 
@@ -305,13 +360,13 @@ func RunJointFlow(spec DesignSpec, cfg FlowConfig) FlowResult {
 		Arch: cfg.Arch, Util: cfg.Util, Alpha: prm.Alpha,
 	}
 	var rt time.Duration
-	res.Init, rt = snapshot(p, cfg.Arch)
+	res.Init, rt = snapshot(p, cfg.Arch, cfg.Workers)
 	res.RouteRuntime += rt
 	opt := core.VM1OptJoint(p, prm, seq)
 	res.OptInitial = opt.Initial
 	res.OptFinal = opt.Final
 	res.OptRuntime = opt.Duration
-	res.Final, rt = snapshot(p, cfg.Arch)
+	res.Final, rt = snapshot(p, cfg.Arch, cfg.Workers)
 	res.RouteRuntime += rt
 	return res
 }
@@ -356,13 +411,13 @@ func RunTimingAwareFlow(spec DesignSpec, cfg FlowConfig, weight float64) FlowRes
 		Arch: cfg.Arch, Util: cfg.Util, Alpha: prm.Alpha,
 	}
 	var rt time.Duration
-	res.Init, rt = snapshot(p, cfg.Arch)
+	res.Init, rt = snapshot(p, cfg.Arch, cfg.Workers)
 	res.RouteRuntime += rt
 	opt := core.VM1Opt(p, prm, seq)
 	res.OptInitial = opt.Initial
 	res.OptFinal = opt.Final
 	res.OptRuntime = opt.Duration
-	res.Final, rt = snapshot(p, cfg.Arch)
+	res.Final, rt = snapshot(p, cfg.Arch, cfg.Workers)
 	res.RouteRuntime += rt
 	return res
 }

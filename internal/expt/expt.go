@@ -72,7 +72,10 @@ type FlowConfig struct {
 	// MaxOuterIters caps inner iterations per parameter set (ExptA-1
 	// uses 1).
 	MaxOuterIters int
-	// Workers overrides the parallel window count.
+	// Workers overrides both the parallel window count of the optimizer
+	// and the routing worker count (route.Config.Workers). Zero keeps the
+	// substrate defaults (GOMAXPROCS). Routed Metrics are identical for
+	// every value — see internal/route/parallel.go.
 	Workers int
 }
 
@@ -112,10 +115,16 @@ type FlowResult struct {
 	RouteRuntime time.Duration
 }
 
-// snapshot routes the placement and gathers all metrics.
-func snapshot(p *layout.Placement, arch tech.Arch) (Snapshot, time.Duration) {
+// snapshot routes the placement and gathers all metrics. workers sets the
+// router's worker-pool size (0 keeps the default); the metrics do not
+// depend on it.
+func snapshot(p *layout.Placement, arch tech.Arch, workers int) (Snapshot, time.Duration) {
 	start := time.Now()
-	r := route.New(p, route.DefaultConfig(p.Tech, arch))
+	rcfg := route.DefaultConfig(p.Tech, arch)
+	if workers > 0 {
+		rcfg.Workers = workers
+	}
+	r := route.New(p, rcfg)
 	m := r.RouteAll()
 	elapsed := time.Since(start)
 	rep := sta.Analyze(p, sta.DefaultConfig(), nil)
@@ -175,7 +184,7 @@ func RunFlow(spec DesignSpec, cfg FlowConfig) FlowResult {
 	}
 
 	var rt time.Duration
-	res.Init, rt = snapshot(p, cfg.Arch)
+	res.Init, rt = snapshot(p, cfg.Arch, cfg.Workers)
 	res.RouteRuntime += rt
 
 	opt := core.VM1Opt(p, prm, seq)
@@ -183,7 +192,7 @@ func RunFlow(spec DesignSpec, cfg FlowConfig) FlowResult {
 	res.OptFinal = opt.Final
 	res.OptRuntime = opt.Duration
 
-	res.Final, rt = snapshot(p, cfg.Arch)
+	res.Final, rt = snapshot(p, cfg.Arch, cfg.Workers)
 	res.RouteRuntime += rt
 	return res
 }

@@ -1,0 +1,162 @@
+// Parallel batch routing.
+//
+// The engine partitions the (deterministically ordered) net list into
+// batches by greedy first-fit coloring of each net's dilated search
+// region: two nets share a batch only when their regions are disjoint.
+// Every search a batch-mode net runs is clamped to its own region, so the
+// edges it reads and writes all lie strictly inside that region — nets of
+// one batch can therefore route concurrently against the live usage
+// arrays without locks, and the outcome is identical to routing them in
+// any sequential order. Route records are committed at the batch barrier
+// in net order, and a net whose connection cannot complete inside its
+// region is rolled back and deferred to a sequential cleanup phase with
+// the classic widened-retry semantics.
+//
+// Batch composition, deferral decisions and the cleanup order depend only
+// on the placement and configuration — never on the worker count or
+// goroutine scheduling — so RouteAll returns bit-identical Metrics for
+// every Workers value.
+package route
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// batchTile is the edge length (grid cells) of the coloring bitmap tiles.
+// Region overlap is tested tile-conservatively: nets that share no tile
+// certainly have disjoint regions.
+const batchTile = 8
+
+// colorProbeCap bounds how many existing batches a net probes before a
+// fresh batch is opened, keeping coloring cheap on heavily overlapping
+// designs. The cap is a constant, so batch composition stays deterministic.
+const colorProbeCap = 128
+
+// colorBatches greedily packs nets into conflict-free batches, preserving
+// relative order within each batch.
+func (r *Router) colorBatches(nets []int) [][]int {
+	tx := (r.nx + batchTile - 1) / batchTile
+	ty := (r.ny + batchTile - 1) / batchTile
+	words := (tx*ty + 63) / 64
+	type batch struct {
+		nets []int
+		bits []uint64
+	}
+	var batches []batch
+	for _, ni := range nets {
+		rg := r.netRegion[ni]
+		tx0, tx1 := rg.xlo/batchTile, rg.xhi/batchTile
+		ty0, ty1 := rg.ylo/batchTile, rg.yhi/batchTile
+		found := -1
+		limit := len(batches)
+		if limit > colorProbeCap {
+			limit = colorProbeCap
+		}
+	probe:
+		for bi := 0; bi < limit; bi++ {
+			bits := batches[bi].bits
+			for tyi := ty0; tyi <= ty1; tyi++ {
+				base := tyi * tx
+				for txi := tx0; txi <= tx1; txi++ {
+					t := base + txi
+					if bits[t>>6]&(1<<(t&63)) != 0 {
+						continue probe
+					}
+				}
+			}
+			found = bi
+			break
+		}
+		if found < 0 {
+			batches = append(batches, batch{bits: make([]uint64, words)})
+			found = len(batches) - 1
+		}
+		b := &batches[found]
+		b.nets = append(b.nets, ni)
+		for tyi := ty0; tyi <= ty1; tyi++ {
+			base := tyi * tx
+			for txi := tx0; txi <= tx1; txi++ {
+				t := base + txi
+				b.bits[t>>6] |= 1 << (t & 63)
+			}
+		}
+	}
+	out := make([][]int, len(batches))
+	for i := range batches {
+		out[i] = batches[i].nets
+	}
+	return out
+}
+
+// routeBatched routes the given nets (already in deterministic order)
+// through the batch schedule with congestion weight cw.
+func (r *Router) routeBatched(nets []int, cw float64) {
+	if len(nets) == 0 {
+		return
+	}
+	r.rebuildEdgeCosts(cw)
+	workers := r.workerCount()
+	r.ensureSearchers(workers)
+
+	var deferred []int
+	for _, batch := range r.colorBatches(nets) {
+		w := workers
+		if w > len(batch) {
+			w = len(batch)
+		}
+		if w <= 1 {
+			// Same schedule, no goroutines: within a batch the regions
+			// are disjoint, so sequential and concurrent execution are
+			// equivalent by construction.
+			s := r.searchers[0]
+			for _, ni := range batch {
+				nr, def := s.routeNet(ni, r.netRegion[ni], true)
+				if def {
+					deferred = append(deferred, ni)
+				} else {
+					r.routes[ni] = nr
+				}
+			}
+			continue
+		}
+
+		nrs := make([]*netRoute, len(batch))
+		defs := make([]bool, len(batch))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func(s *searcher) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(batch) {
+						return
+					}
+					ni := batch[i]
+					nrs[i], defs[i] = s.routeNet(ni, r.netRegion[ni], true)
+				}
+			}(r.searchers[k])
+		}
+		wg.Wait()
+
+		// Barrier commit, in net order.
+		for i, ni := range batch {
+			if defs[i] {
+				deferred = append(deferred, ni)
+			} else {
+				r.routes[ni] = nrs[i]
+			}
+		}
+	}
+
+	// Sequential cleanup: nets that could not finish inside their region
+	// get the unbounded retry semantics, in deterministic order.
+	full := region{xlo: 0, ylo: 0, xhi: r.nx - 1, yhi: r.ny - 1}
+	s := r.searchers[0]
+	for _, ni := range deferred {
+		nr, _ := s.routeNet(ni, full, false)
+		r.routes[ni] = nr
+	}
+}

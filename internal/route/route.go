@@ -20,9 +20,17 @@
 //
 // A connection routed as a single vertical M1 segment between two pin
 // nodes spanning at most γ rows is counted as a direct vertical M1 route.
+//
+// Routing is parallel: nets are greedily colored into batches whose
+// dilated search regions are pairwise disjoint, each batch is routed
+// concurrently by workers that own their complete A* state, and route
+// records are committed at batch barriers in net order — so the final
+// Metrics are bit-identical for every Workers value (see parallel.go).
 package route
 
 import (
+	"runtime"
+
 	"vm1place/internal/layout"
 	"vm1place/internal/netlist"
 	"vm1place/internal/tech"
@@ -52,6 +60,9 @@ type Config struct {
 	M1Routable bool
 	// Arch selects pin-access behaviour.
 	Arch tech.Arch
+	// Workers is the number of concurrent routing workers. <= 0 means 1.
+	// Metrics are identical for every value (see parallel.go).
+	Workers int
 }
 
 // DefaultConfig returns the router configuration for an architecture.
@@ -65,6 +76,7 @@ func DefaultConfig(t *tech.Tech, arch tech.Arch) Config {
 		SearchMargin: 12,
 		M1Routable:   arch != tech.Conventional,
 		Arch:         arch,
+		Workers:      runtime.GOMAXPROCS(0),
 	}
 	cfg.Caps[tech.M1] = 1
 	cfg.Caps[tech.M2] = 3
@@ -93,6 +105,14 @@ type Metrics struct {
 	FailedConns int
 }
 
+// epRec is one net terminal — an instance pin or a port — with its access
+// points stored flat in the router's apNode/apCost arrays.
+type epRec struct {
+	apStart, apEnd int32
+	px, py         int64 // position, for endpoint ordering
+	isPin          bool
+}
+
 // Router routes one placement. It retains per-net routes so callers can
 // inspect them; RouteAll may be called repeatedly (e.g., after placement
 // changes) and starts from a clean slate each time.
@@ -111,11 +131,39 @@ type Router struct {
 	// M1 track node, or 0.
 	blockedM1 []int32
 
-	// A* scratch, generation-stamped.
-	gen      int32
-	visGen   []int32
-	gCost    []float64
-	cameFrom []int32
+	// edgeCost caches the full traversal cost of every edge at the
+	// current usage and congestion weight (indexed like usage). Rebuilt
+	// when the congestion weight changes and maintained incrementally by
+	// addUsage, it turns the hot relax-loop cost computation into one
+	// array load.
+	edgeCost [tech.NumLayers][]float64
+	curCW    float64
+
+	// edgeBase/edgePitch are the per-layer cost constants behind edgeCost.
+	edgeBase, edgePitch [tech.NumLayers]float64
+
+	// xOf/yOf/lOf decode a node id without div/mod (hot in the search
+	// kernel).
+	xOf, yOf []int16
+	lOf      []int8
+
+	// Per-RouteAll endpoint tables, read-only while batches are in
+	// flight. netEpStart is CSR over eps (one range per net); apNode and
+	// apCost hold every endpoint's access points flat; netRegion is each
+	// net's exclusive routing region; portStart/portList is the CSR
+	// ports-by-net index that replaces the old O(nets x ports) scan.
+	apNode     []int32
+	apCost     []int64
+	eps        []epRec
+	netEpStart []int32
+	netRegion  []region
+	portStart  []int32
+	portList   []int32
+	hpwlKey    []int64
+
+	// searchers are the per-worker A* arenas, grown on demand and reused
+	// across batches and RouteAll calls.
+	searchers []*searcher
 
 	// routes holds the current route of each net.
 	routes map[int]*netRoute
@@ -135,14 +183,65 @@ func New(p *layout.Placement, cfg Config) *Router {
 	n := r.nx * r.ny
 	for l := tech.M1; l <= tech.M4; l++ {
 		r.usage[l] = make([]int32, n)
+		r.edgeCost[l] = make([]float64, n)
+		if l.Direction() == tech.Vertical {
+			r.edgePitch[l] = float64(r.t.RowHeight)
+		} else {
+			r.edgePitch[l] = float64(r.t.SiteWidth)
+		}
+		r.edgeBase[l] = r.edgePitch[l]
+		if l == tech.M1 {
+			r.edgeBase[l] *= cfg.M1CostFactor
+		}
 	}
-	size := int(tech.NumLayers) * n
-	r.visGen = make([]int32, size)
-	r.gCost = make([]float64, size)
-	r.cameFrom = make([]int32, size)
 	r.blockedM1 = make([]int32, n)
 	r.routes = make(map[int]*netRoute)
+	size := int(tech.NumLayers) * n
+	r.xOf = make([]int16, size)
+	r.yOf = make([]int16, size)
+	r.lOf = make([]int8, size)
+	for id := 0; id < size; id++ {
+		x := id % r.nx
+		rest := id / r.nx
+		r.xOf[id] = int16(x)
+		r.yOf[id] = int16(rest % r.ny)
+		r.lOf[id] = int8(rest / r.ny)
+	}
 	return r
+}
+
+// rebuildEdgeCosts recomputes the cached per-edge traversal costs for
+// congestion weight cw; addUsage keeps them current between rebuilds.
+func (r *Router) rebuildEdgeCosts(cw float64) {
+	r.curCW = cw
+	for l := tech.M1; l <= tech.M4; l++ {
+		base, pen := r.edgeBase[l], r.edgePitch[l]*cw
+		lcap := int32(r.cfg.Caps[l])
+		u := r.usage[l]
+		ec := r.edgeCost[l]
+		for i, ui := range u {
+			c := base
+			if over := ui + 1 - lcap; over > 0 {
+				c += pen * float64(over)
+			}
+			ec[i] = c
+		}
+	}
+}
+
+// workerCount returns the effective worker count.
+func (r *Router) workerCount() int {
+	if r.cfg.Workers <= 0 {
+		return 1
+	}
+	return r.cfg.Workers
+}
+
+// ensureSearchers grows the searcher pool to n arenas.
+func (r *Router) ensureSearchers(n int) {
+	for len(r.searchers) < n {
+		r.searchers = append(r.searchers, newSearcher(r))
+	}
 }
 
 // node encoding: idx = (layer*ny + y)*nx + x.
@@ -151,11 +250,7 @@ func (r *Router) nodeID(l tech.Layer, x, y int) int32 {
 }
 
 func (r *Router) nodeOf(id int32) (l tech.Layer, x, y int) {
-	x = int(id) % r.nx
-	rest := int(id) / r.nx
-	y = rest % r.ny
-	l = tech.Layer(rest / r.ny)
-	return l, x, y
+	return tech.Layer(r.lOf[id]), int(r.xOf[id]), int(r.yOf[id])
 }
 
 // vEdge returns the usage index of the vertical edge (x,y)-(x,y+1).
@@ -170,36 +265,39 @@ type accessPoint struct {
 	viaCost int64 // cost of dropping from the node into the pin (e.g. V01)
 }
 
-// pinAccess returns the access points of a connection's pin.
-func (r *Router) pinAccess(c netlist.Conn) []accessPoint {
+func (r *Router) clampX(x int) int {
+	if x < 0 {
+		return 0
+	}
+	if x >= r.nx {
+		return r.nx - 1
+	}
+	return x
+}
+
+// appendPinAccess appends the access points of a connection's pin to the
+// flat apNode/apCost arrays.
+func (r *Router) appendPinAccess(c netlist.Conn) {
 	shape := r.p.PinShape(c)
 	row := r.p.Row[c.Inst]
-	clampX := func(x int) int {
-		if x < 0 {
-			return 0
-		}
-		if x >= r.nx {
-			return r.nx - 1
-		}
-		return x
-	}
 	switch r.cfg.Arch {
 	case tech.ClosedM1:
 		cx := (shape.Rect.XLo + shape.Rect.XHi) / 2
-		x := clampX(r.t.XToSite(cx))
-		return []accessPoint{{node: r.nodeID(tech.M1, x, row), viaCost: 0}}
+		x := r.clampX(r.t.XToSite(cx))
+		r.apNode = append(r.apNode, r.nodeID(tech.M1, x, row))
+		r.apCost = append(r.apCost, 0)
 	case tech.OpenM1:
-		lo := clampX(r.t.XToSite(shape.Rect.XLo))
-		hi := clampX(r.t.XToSite(shape.Rect.XHi - 1))
-		pts := make([]accessPoint, 0, hi-lo+1)
+		lo := r.clampX(r.t.XToSite(shape.Rect.XLo))
+		hi := r.clampX(r.t.XToSite(shape.Rect.XHi - 1))
 		for x := lo; x <= hi; x++ {
-			pts = append(pts, accessPoint{node: r.nodeID(tech.M1, x, row), viaCost: r.cfg.ViaCost})
+			r.apNode = append(r.apNode, r.nodeID(tech.M1, x, row))
+			r.apCost = append(r.apCost, r.cfg.ViaCost)
 		}
-		return pts
 	default: // Conventional: access from M2 above the pin center.
 		cx := (shape.Rect.XLo + shape.Rect.XHi) / 2
-		x := clampX(r.t.XToSite(cx))
-		return []accessPoint{{node: r.nodeID(tech.M2, x, row), viaCost: r.cfg.ViaCost}}
+		x := r.clampX(r.t.XToSite(cx))
+		r.apNode = append(r.apNode, r.nodeID(tech.M2, x, row))
+		r.apCost = append(r.apCost, r.cfg.ViaCost)
 	}
 }
 
@@ -221,6 +319,107 @@ func (r *Router) portAccess(pi int) accessPoint {
 		y = r.ny - 1
 	}
 	return accessPoint{node: r.nodeID(tech.M2, x, y), viaCost: 0}
+}
+
+// buildPortIndex builds the CSR ports-by-net index.
+func (r *Router) buildPortIndex() {
+	d := r.p.Design
+	nn := len(d.Nets)
+	if cap(r.portStart) >= nn+1 {
+		r.portStart = r.portStart[:nn+1]
+		for i := range r.portStart {
+			r.portStart[i] = 0
+		}
+	} else {
+		r.portStart = make([]int32, nn+1)
+	}
+	for pi := range d.Ports {
+		if ni := d.Ports[pi].Net; ni >= 0 && ni < nn {
+			r.portStart[ni+1]++
+		}
+	}
+	for i := 1; i <= nn; i++ {
+		r.portStart[i] += r.portStart[i-1]
+	}
+	if cap(r.portList) >= len(d.Ports) {
+		r.portList = r.portList[:len(d.Ports)]
+	} else {
+		r.portList = make([]int32, len(d.Ports))
+	}
+	fill := make([]int32, nn)
+	for pi := range d.Ports {
+		if ni := d.Ports[pi].Net; ni >= 0 && ni < nn {
+			r.portList[r.portStart[ni]+fill[ni]] = int32(pi)
+			fill[ni]++
+		}
+	}
+}
+
+// regionPadFactor dilates a net's endpoint bbox (in SearchMargin units) to
+// form its exclusive routing region: wide enough that batch-mode searches
+// almost never defer, tight enough that many nets stay disjoint.
+const regionPadFactor = 2
+
+// buildEndpoints collects every signal net's terminals and access points
+// into the flat CSR tables, and derives each net's routing region. Built
+// once per RouteAll and reused across the initial pass and every rip-up
+// pass (the old kernel recomputed endpoints on each routeNet call).
+func (r *Router) buildEndpoints() {
+	d := r.p.Design
+	nn := len(d.Nets)
+	r.apNode = r.apNode[:0]
+	r.apCost = r.apCost[:0]
+	r.eps = r.eps[:0]
+	if cap(r.netEpStart) >= nn+1 {
+		r.netEpStart = r.netEpStart[:nn+1]
+	} else {
+		r.netEpStart = make([]int32, nn+1)
+	}
+	if len(r.netRegion) != nn {
+		r.netRegion = make([]region, nn)
+	}
+	pad := regionPadFactor * r.cfg.SearchMargin
+	for ni := 0; ni < nn; ni++ {
+		r.netEpStart[ni] = int32(len(r.eps))
+		n := &d.Nets[ni]
+		if n.IsClock {
+			continue
+		}
+		apLo := int32(len(r.apNode))
+		if n.Driver.Inst >= 0 {
+			r.appendEndpoint(n.Driver)
+		}
+		for _, c := range n.Sinks {
+			r.appendEndpoint(c)
+		}
+		for k := r.portStart[ni]; k < r.portStart[ni+1]; k++ {
+			pi := int(r.portList[k])
+			apStart := int32(len(r.apNode))
+			ap := r.portAccess(pi)
+			r.apNode = append(r.apNode, ap.node)
+			r.apCost = append(r.apCost, ap.viaCost)
+			r.eps = append(r.eps, epRec{
+				apStart: apStart, apEnd: int32(len(r.apNode)),
+				px: r.p.PortXY[pi].X, py: r.p.PortXY[pi].Y,
+			})
+		}
+		rg := r.apRegionOf(apLo, int32(len(r.apNode)))
+		r.netRegion[ni] = r.clampRegion(region{
+			xlo: rg.xlo - pad, ylo: rg.ylo - pad,
+			xhi: rg.xhi + pad, yhi: rg.yhi + pad,
+		})
+	}
+	r.netEpStart[nn] = int32(len(r.eps))
+}
+
+func (r *Router) appendEndpoint(c netlist.Conn) {
+	apStart := int32(len(r.apNode))
+	r.appendPinAccess(c)
+	pos := r.p.PinPos(c)
+	r.eps = append(r.eps, epRec{
+		apStart: apStart, apEnd: int32(len(r.apNode)),
+		px: pos.X, py: pos.Y, isPin: true,
+	})
 }
 
 // buildBlockage records ClosedM1 pin blockages (foreign pins block M1).

@@ -8,7 +8,8 @@ import (
 
 // RouteAll routes every signal net from scratch (clearing any previous
 // routing), runs the configured rip-up-and-reroute passes, and returns the
-// final metrics.
+// final metrics. Nets are routed in conflict-free parallel batches (see
+// parallel.go); the result is identical for every cfg.Workers value.
 func (r *Router) RouteAll() Metrics {
 	// Reset state.
 	for l := tech.M1; l <= tech.M4; l++ {
@@ -16,19 +17,28 @@ func (r *Router) RouteAll() Metrics {
 			r.usage[l][i] = 0
 		}
 	}
-	r.routes = make(map[int]*netRoute)
+	r.routes = make(map[int]*netRoute, len(r.p.Design.Nets))
 	r.metrics = Metrics{}
+	for _, s := range r.searchers {
+		s.failedConns = 0
+	}
 	r.buildBlockage()
+	r.buildPortIndex()
+	r.buildEndpoints()
 
 	nets := r.routableNets()
 	// Route short nets first: they have the least flexibility.
+	if len(r.hpwlKey) != len(r.p.Design.Nets) {
+		r.hpwlKey = make([]int64, len(r.p.Design.Nets))
+	}
+	for _, ni := range nets {
+		r.hpwlKey[ni] = r.p.NetHPWL(ni)
+	}
 	sort.SliceStable(nets, func(a, b int) bool {
-		return r.p.NetHPWL(nets[a]) < r.p.NetHPWL(nets[b])
+		return r.hpwlKey[nets[a]] < r.hpwlKey[nets[b]]
 	})
 
-	for _, ni := range nets {
-		r.routes[ni] = r.routeNet(ni, r.cfg.CongWeight)
-	}
+	r.routeBatched(nets, r.cfg.CongWeight)
 
 	// Negotiated-congestion rip-up: nets crossing overflowed edges are
 	// rerouted with a stiffer congestion penalty.
@@ -42,16 +52,19 @@ func (r *Router) RouteAll() Metrics {
 		for _, ni := range victims {
 			r.ripNet(ni)
 		}
-		for _, ni := range victims {
-			r.routes[ni] = r.routeNet(ni, cw)
-		}
+		r.routeBatched(victims, cw)
 	}
 
+	for _, s := range r.searchers {
+		r.metrics.FailedConns += s.failedConns
+	}
 	r.computeMetrics()
 	return r.metrics
 }
 
-// routableNets returns signal nets with at least two endpoints.
+// routableNets returns signal nets with at least two endpoints, using the
+// endpoint CSR built by buildEndpoints (the old implementation rescanned
+// every port for every net).
 func (r *Router) routableNets() []int {
 	d := r.p.Design
 	var nets []int
@@ -59,13 +72,7 @@ func (r *Router) routableNets() []int {
 		if d.Nets[ni].IsClock {
 			continue
 		}
-		cnt := d.Nets[ni].NumConns()
-		for pi := range d.Ports {
-			if d.Ports[pi].Net == ni {
-				cnt++
-			}
-		}
-		if cnt >= 2 {
+		if r.netEpStart[ni+1]-r.netEpStart[ni] >= 2 {
 			nets = append(nets, ni)
 		}
 	}
@@ -157,7 +164,8 @@ func (r *Router) totalOverflow() int {
 	return total
 }
 
-// computeMetrics derives all metrics from the stored routes.
+// computeMetrics derives all metrics from the stored routes. Every term is
+// a commutative integer sum, so map iteration order does not matter.
 func (r *Router) computeMetrics() {
 	m := Metrics{FailedConns: r.metrics.FailedConns}
 	for _, nr := range r.routes {

@@ -1,61 +1,140 @@
 package route
 
 import (
-	"sort"
+	"math/bits"
 
-	"vm1place/internal/geom"
-	"vm1place/internal/netlist"
 	"vm1place/internal/tech"
 )
 
-// pqItem is one A* frontier entry.
-type pqItem struct {
-	node int32
-	f    float64
+// pq is a bucketed ("untidy") priority queue specialized for the A*
+// kernel. Priorities are quantized into buckets of bqQuantum cost units
+// arranged in a circular window of bqBuckets; push appends the entry's
+// sequence number to its bucket and pop drains the lowest non-empty
+// bucket LIFO. Entries beyond the window land in an overflow list that is
+// harvested when the window empties; entries below the cursor (possible
+// because the heuristic is mildly inflated) are clamped to the current
+// bucket. Every operation is O(1) amortized with sequential memory
+// access — replacing the d-ary heap whose pointer-chasing sift and branch
+// mispredictions dominated the router's profile — at the price of a
+// bounded (≤ one quantum per hop) and fully deterministic reordering.
+const (
+	bqBuckets = 1 << 12
+	bqWords   = bqBuckets / 64
+	bqMask    = bqBuckets - 1
+)
+
+type pq struct {
+	invQ  float64 // 1 / quantum
+	curQ  uint32  // quantum index of the cursor bucket
+	n     int     // live entries in window buckets
+	first bool    // no push seen since reset
+
+	buckets [bqBuckets][]uint32
+	mask    [bqWords]uint64
+	over    []uint64 // fq<<32 | seq, beyond-window entries
+	nodes   []int32  // payload: nodes[seq] = node id of push #seq
 }
 
-// pq is a binary min-heap of pqItems.
-type pq []pqItem
-
-func (q *pq) push(it pqItem) {
-	*q = append(*q, it)
-	i := len(*q) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if (*q)[parent].f <= (*q)[i].f {
-			break
+func (q *pq) reset() {
+	if q.n > 0 {
+		for w := range q.mask {
+			for m := q.mask[w]; m != 0; m &= m - 1 {
+				b := w<<6 | bits.TrailingZeros64(m)
+				q.buckets[b] = q.buckets[b][:0]
+			}
+			q.mask[w] = 0
 		}
-		(*q)[parent], (*q)[i] = (*q)[i], (*q)[parent]
-		i = parent
 	}
+	q.over = q.over[:0]
+	q.nodes = q.nodes[:0]
+	q.n = 0
+	q.first = true
 }
 
-func (q *pq) pop() pqItem {
-	top := (*q)[0]
-	last := len(*q) - 1
-	(*q)[0] = (*q)[last]
-	*q = (*q)[:last]
-	i := 0
+func (q *pq) empty() bool { return q.n == 0 && len(q.over) == 0 }
+
+// push inserts node with priority f and returns its sequence stamp.
+func (q *pq) push(f float64, node int32) int32 {
+	seq := int32(len(q.nodes))
+	q.nodes = append(q.nodes, node)
+	fq := uint32(f * q.invQ)
+	if q.first {
+		q.first = false
+		q.curQ = fq
+	}
+	if fq < q.curQ {
+		fq = q.curQ // late improvement: clamp to the cursor bucket
+	}
+	if fq-q.curQ >= bqBuckets {
+		q.over = append(q.over, uint64(fq)<<32|uint64(uint32(seq)))
+		return seq
+	}
+	b := fq & bqMask
+	q.buckets[b] = append(q.buckets[b], uint32(seq))
+	q.mask[b>>6] |= 1 << (b & 63)
+	q.n++
+	return seq
+}
+
+// pop removes the entry with the (quantized) lowest priority.
+func (q *pq) pop() int32 {
 	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < len(*q) && (*q)[l].f < (*q)[small].f {
-			small = l
+		if q.n == 0 {
+			q.harvest()
 		}
-		if r < len(*q) && (*q)[r].f < (*q)[small].f {
-			small = r
+		b := q.curQ & bqMask
+		w := int(b >> 6)
+		m := q.mask[w] >> (b & 63)
+		for m == 0 {
+			w = (w + 1) & (bqWords - 1)
+			q.curQ = (q.curQ &^ 63) + 64
+			b = q.curQ & bqMask
+			m = q.mask[w]
 		}
-		if small == i {
-			break
+		q.curQ += uint32(bits.TrailingZeros64(m))
+		b = q.curQ & bqMask
+		bk := q.buckets[b]
+		seq := bk[len(bk)-1]
+		q.buckets[b] = bk[:len(bk)-1]
+		if len(bk) == 1 {
+			q.mask[b>>6] &^= 1 << (b & 63)
 		}
-		(*q)[i], (*q)[small] = (*q)[small], (*q)[i]
-		i = small
+		q.n--
+		return int32(seq)
 	}
-	return top
 }
 
-// netRoute holds the routed state of one net.
+// harvest rebases the window on the overflow list (callers guarantee it is
+// non-empty when n is 0 and pop is called).
+func (q *pq) harvest() {
+	minFq := uint32(q.over[0] >> 32)
+	for _, e := range q.over[1:] {
+		if fq := uint32(e >> 32); fq < minFq {
+			minFq = fq
+		}
+	}
+	q.curQ = minFq
+	keep := q.over[:0]
+	for _, e := range q.over {
+		fq := uint32(e >> 32)
+		if fq-minFq >= bqBuckets {
+			keep = append(keep, e)
+			continue
+		}
+		b := fq & bqMask
+		q.buckets[b] = append(q.buckets[b], uint32(e))
+		q.mask[b>>6] |= 1 << (b & 63)
+		q.n++
+	}
+	q.over = keep
+}
+
+// netRoute holds the routed state of one net. All connection paths share
+// one flat backing array (seg holds the offsets); paths is materialized as
+// subslice views once the net is complete.
 type netRoute struct {
+	flat  []int32
+	seg   [][2]int32
 	paths [][]int32
 	dm1   []bool
 	// endpoints that participated (for via counting).
@@ -83,31 +162,15 @@ func (r *Router) clampRegion(rg region) region {
 	return rg
 }
 
-// edgeCostV returns the cost of traversing the vertical edge (x,y)-(x,y+1)
-// on layer l with congestion weight cw.
-func (r *Router) edgeCostV(l tech.Layer, x, y int, cw float64) float64 {
-	base := float64(r.t.RowHeight)
-	if l == tech.M1 {
-		base *= r.cfg.M1CostFactor
+func intersectRegion(a, b region) region {
+	return region{
+		xlo: max(a.xlo, b.xlo), ylo: max(a.ylo, b.ylo),
+		xhi: min(a.xhi, b.xhi), yhi: min(a.yhi, b.yhi),
 	}
-	u := r.usage[l][r.vEdge(x, y)]
-	over := int(u) + 1 - r.cfg.Caps[l]
-	if over > 0 {
-		base += float64(r.t.RowHeight) * cw * float64(over)
-	}
-	return base
 }
 
-// edgeCostH returns the cost of the horizontal edge (x,y)-(x+1,y) on l.
-func (r *Router) edgeCostH(l tech.Layer, x, y int, cw float64) float64 {
-	base := float64(r.t.SiteWidth)
-	u := r.usage[l][r.hEdge(x, y)]
-	over := int(u) + 1 - r.cfg.Caps[l]
-	if over > 0 {
-		base += float64(r.t.SiteWidth) * cw * float64(over)
-	}
-	return base
-}
+// Edge traversal costs are read from the Router's edgeCost cache (see
+// rebuildEdgeCosts); addUsage keeps the cache in sync as paths commit.
 
 // m1Enterable reports whether net ni may occupy the M1 node at (x,y).
 func (r *Router) m1Enterable(ni, x, y int) bool {
@@ -118,219 +181,318 @@ func (r *Router) m1Enterable(ni, x, y int) bool {
 	return b == 0 || b == int32(ni+1)
 }
 
-// astar searches from the source access points to any node in targets,
-// bounded by rg. Returns the path (source node first) or nil.
-func (r *Router) astar(ni int, sources []accessPoint, targets map[int32]struct{},
-	tb region, rg region, cw float64) []int32 {
-	r.gen++
-	gen := r.gen
-	var open pq
+// nodeState is the per-node A* record: the generation stamp that lazily
+// invalidates it, the best-known cost, and the parent node. Packing the
+// three side-by-side means one cache line per relax instead of three.
+type nodeState struct {
+	gen  int32
+	from int32
+	g    float64
+	// seq is the push sequence of the node's live heap entry; a popped key
+	// whose sequence differs is stale.
+	seq int32
+	_   int32
+}
 
-	// Slightly inflated distance-to-target-box heuristic. Inflation (and
-	// pricing vertical moves at the full row pitch even though M1 may be
-	// cheaper) trades strict optimality for a near-beeline search — the
-	// standard maze-router compromise; congestion and via costs still
-	// shape the path through g.
-	sw := float64(r.t.SiteWidth)
-	rh := float64(r.t.RowHeight)
-	h := func(id int32) float64 {
-		_, x, y := r.nodeOf(id)
-		var dx, dy int
-		if x < tb.xlo {
-			dx = tb.xlo - x
-		} else if x > tb.xhi {
-			dx = x - tb.xhi
-		}
-		if y < tb.ylo {
-			dy = tb.ylo - y
-		} else if y > tb.yhi {
-			dy = y - tb.yhi
-		}
-		return (float64(dx)*sw + float64(dy)*rh) * 1.05
+// searcher owns one worker's complete A* state: the frontier heap, the
+// generation-stamped visit/score/parent arenas, the tree and pin-node
+// marks that replace the per-net maps of the old sequential kernel, and
+// the endpoint-ordering and path scratch reused across nets. Workers never
+// share a searcher, and within a batch their nets' routing regions are
+// pairwise disjoint, so batch routing needs no locks: shared reads
+// (usage, blockage, endpoint tables) are either frozen for the batch or
+// confined to the worker's own region.
+type searcher struct {
+	r *Router
+
+	open pq
+
+	gen int32
+	ns  []nodeState
+
+	// treeMark[id] == treeGen marks id as on the current net's route tree
+	// (the A* target set); pinMark[id] == pinGen marks id as a pin access
+	// node of an already-connected terminal (for dM1 classification).
+	treeGen  int32
+	treeMark []int32
+	pinGen   int32
+	pinMark  []int32
+
+	// Heuristic parameters of the in-flight search.
+	tb         region
+	sw, rh, vc float64
+
+	// Endpoint-ordering scratch.
+	order []int32
+	dist  []int64
+
+	pathBuf []int32
+
+	failedConns int
+}
+
+func newSearcher(r *Router) *searcher {
+	size := int(tech.NumLayers) * r.nx * r.ny
+	sr := &searcher{
+		r:        r,
+		ns:       make([]nodeState, size),
+		treeMark: make([]int32, size),
+		pinMark:  make([]int32, size),
+		sw:       float64(r.t.SiteWidth),
+		rh:       float64(r.t.RowHeight),
+		vc:       float64(r.cfg.ViaCost),
 	}
-
-	visit := func(id int32, g float64, from int32) {
-		if r.visGen[id] == gen && r.gCost[id] <= g {
-			return
-		}
-		r.visGen[id] = gen
-		r.gCost[id] = g
-		r.cameFrom[id] = from
-		open.push(pqItem{node: id, f: g + h(id)})
+	// One quantum = half the cheapest step so distinct step costs land in
+	// distinct buckets.
+	q := float64(r.t.SiteWidth) / 2
+	if q < 1 {
+		q = 1
 	}
+	sr.open.invQ = 1 / q
+	return sr
+}
 
-	for _, src := range sources {
-		l, x, y := r.nodeOf(src.node)
+// h is the slightly inflated distance-to-target-box heuristic, plus a via
+// lower bound: a node that still needs horizontal progress while sitting
+// on a vertical layer (or vice versa, or needing both directions) must pay
+// at least one layer change. Inflation (and pricing vertical moves at the
+// full row pitch even though M1 may be cheaper) trades strict optimality
+// for a near-beeline search — the standard maze-router compromise;
+// congestion still shapes the path through g.
+func (s *searcher) h(l tech.Layer, x, y int) float64 {
+	var dx, dy int
+	if x < s.tb.xlo {
+		dx = s.tb.xlo - x
+	} else if x > s.tb.xhi {
+		dx = x - s.tb.xhi
+	}
+	if y < s.tb.ylo {
+		dy = s.tb.ylo - y
+	} else if y > s.tb.yhi {
+		dy = y - s.tb.yhi
+	}
+	d := float64(dx)*s.sw + float64(dy)*s.rh
+	if dx != 0 {
+		if dy != 0 || l.Direction() == tech.Vertical {
+			d += s.vc
+		}
+	} else if dy != 0 && l.Direction() == tech.Horizontal {
+		d += s.vc
+	}
+	return d * 1.05
+}
+
+func (s *searcher) relax(id int32, l tech.Layer, x, y int, g float64, from int32) {
+	st := &s.ns[id]
+	if st.gen == s.gen && st.g <= g {
+		return
+	}
+	st.gen = s.gen
+	st.g = g
+	st.from = from
+	st.seq = s.open.push(g+s.h(l, x, y), id)
+}
+
+// astar searches from the access points [apStart, apEnd) to any node on
+// the current tree marks, bounded by rg. The returned path (source node
+// first) lives in the searcher's scratch buffer, valid until the next
+// search; nil when no path exists.
+func (s *searcher) astar(ni int, apStart, apEnd int32, rg region) []int32 {
+	r := s.r
+	s.gen++
+	s.open.reset()
+
+	for k := apStart; k < apEnd; k++ {
+		id := r.apNode[k]
+		l, x, y := r.nodeOf(id)
 		if l == tech.M1 && !r.m1Enterable(ni, x, y) {
 			continue
 		}
-		visit(src.node, float64(src.viaCost), -1)
+		s.relax(id, l, x, y, float64(r.apCost[k]), -1)
 	}
 
-	for len(open) > 0 {
-		cur := open.pop()
-		id := cur.node
-		if r.visGen[id] != gen {
-			continue
-		}
-		g := r.gCost[id]
-		if cur.f > g+h(id)+1e-9 {
+	vc := float64(r.cfg.ViaCost)
+	for !s.open.empty() {
+		seq := s.open.pop()
+		id := s.open.nodes[seq]
+		st := &s.ns[id]
+		if st.gen != s.gen || st.seq != seq {
 			continue // stale entry
 		}
-		if _, ok := targets[id]; ok {
-			// Reconstruct.
-			var path []int32
-			for n := id; n != -1; n = r.cameFrom[n] {
-				path = append(path, n)
+		g := st.g
+		if s.treeMark[id] == s.treeGen {
+			// Reconstruct into the reusable buffer, source-first.
+			buf := s.pathBuf[:0]
+			for n := id; n != -1; n = s.ns[n].from {
+				buf = append(buf, n)
 			}
-			// Reverse to source-first order.
-			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-				path[i], path[j] = path[j], path[i]
+			for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+				buf[i], buf[j] = buf[j], buf[i]
 			}
-			return path
+			s.pathBuf = buf
+			return buf
 		}
 
 		l, x, y := r.nodeOf(id)
+		ec := r.edgeCost[l]
 		// Preferred-direction edges.
 		if l.Direction() == tech.Vertical {
 			if y+1 <= rg.yhi && (l != tech.M1 || r.m1Enterable(ni, x, y+1)) {
-				visit(r.nodeID(l, x, y+1), g+r.edgeCostV(l, x, y, cw), id)
+				s.relax(id+int32(r.nx), l, x, y+1, g+ec[y*r.nx+x], id)
 			}
 			if y-1 >= rg.ylo && (l != tech.M1 || r.m1Enterable(ni, x, y-1)) {
-				visit(r.nodeID(l, x, y-1), g+r.edgeCostV(l, x, y-1, cw), id)
+				s.relax(id-int32(r.nx), l, x, y-1, g+ec[(y-1)*r.nx+x], id)
 			}
 		} else {
 			if x+1 <= rg.xhi {
-				visit(r.nodeID(l, x+1, y), g+r.edgeCostH(l, x, y, cw), id)
+				s.relax(id+1, l, x+1, y, g+ec[y*(r.nx-1)+x], id)
 			}
 			if x-1 >= rg.xlo {
-				visit(r.nodeID(l, x-1, y), g+r.edgeCostH(l, x-1, y, cw), id)
+				s.relax(id-1, l, x-1, y, g+ec[y*(r.nx-1)+x-1], id)
 			}
 		}
 		// Vias (the graph never descends below M1).
+		plane := int32(r.nx * r.ny)
 		if l > tech.M1 {
-			down := l - 1
-			if down != tech.M1 || r.m1Enterable(ni, x, y) {
-				visit(r.nodeID(down, x, y), g+float64(r.cfg.ViaCost), id)
+			if l-1 != tech.M1 || r.m1Enterable(ni, x, y) {
+				s.relax(id-plane, l-1, x, y, g+vc, id)
 			}
 		}
 		if l < tech.M4 {
-			visit(r.nodeID(l+1, x, y), g+float64(r.cfg.ViaCost), id)
+			s.relax(id+plane, l+1, x, y, g+vc, id)
 		}
 	}
 	return nil
 }
 
-// endpoint is one net terminal: either an instance pin or a port.
-type endpoint struct {
-	access []accessPoint
-	pos    geom.Point // for ordering and bboxes
-	isPin  bool
-}
-
-// endpoints collects the terminals of net ni (driver first when present).
-func (r *Router) endpoints(ni int) []endpoint {
-	d := r.p.Design
-	n := &d.Nets[ni]
-	var eps []endpoint
-	n.ForEachConn(func(c netlist.Conn) {
-		eps = append(eps, endpoint{
-			access: r.pinAccess(c),
-			pos:    r.p.PinPos(c),
-			isPin:  true,
-		})
-	})
-	for pi := range d.Ports {
-		if d.Ports[pi].Net == ni {
-			eps = append(eps, endpoint{
-				access: []accessPoint{r.portAccess(pi)},
-				pos:    r.p.PortXY[pi],
-			})
-		}
-	}
-	return eps
-}
-
-// routeNet routes net ni, updating usage and returning its route. cw is
-// the congestion weight for this pass.
-func (r *Router) routeNet(ni int, cw float64) *netRoute {
-	eps := r.endpoints(ni)
-	nr := &netRoute{pinConns: 0}
-	for _, ep := range eps {
-		if ep.isPin {
+// routeNet routes net ni at the current cached edge costs, updating shared edge
+// usage as each connection lands. In batch mode (canDefer) every search is
+// clamped to bound — the net's exclusive region — and a connection that
+// cannot complete there rolls the whole net back and defers it to the
+// sequential cleanup phase; in cleanup mode (canDefer=false) the search
+// box may grow past the region with the classic widened retry, and a
+// connection that still fails is counted and skipped.
+func (s *searcher) routeNet(ni int, bound region, canDefer bool) (*netRoute, bool) {
+	r := s.r
+	epStart, epEnd := r.netEpStart[ni], r.netEpStart[ni+1]
+	nr := &netRoute{}
+	for k := epStart; k < epEnd; k++ {
+		if r.eps[k].isPin {
 			nr.pinConns++
 		}
 	}
-	if len(eps) < 2 {
-		return nr
+	if epEnd-epStart < 2 {
+		return nr, false
 	}
 
 	// Grow a route tree starting at the first endpoint (the driver when
 	// the net has one), connecting remaining endpoints nearest-first.
-	tree := make(map[int32]struct{})
-	pinNodes := make(map[int32]struct{})
-	var treeGrid region
-	first := eps[0]
-	for _, ap := range first.access {
-		tree[ap.node] = struct{}{}
+	s.treeGen++
+	s.pinGen++
+	first := &r.eps[epStart]
+	for a := first.apStart; a < first.apEnd; a++ {
+		s.treeMark[r.apNode[a]] = s.treeGen
 		if first.isPin {
-			pinNodes[ap.node] = struct{}{}
+			s.pinMark[r.apNode[a]] = s.pinGen
 		}
 	}
-	treeGrid = r.apRegion(first.access)
+	treeGrid := r.apRegionOf(first.apStart, first.apEnd)
 
-	rest := append([]endpoint(nil), eps[1:]...)
-	sort.Slice(rest, func(a, b int) bool {
-		return rest[a].pos.ManhattanDist(first.pos) < rest[b].pos.ManhattanDist(first.pos)
-	})
+	// Stable insertion sort of the remaining endpoints by Manhattan
+	// distance to the first (endpoint counts are tiny; this replaces a
+	// closure-allocating sort.Slice).
+	s.order = s.order[:0]
+	s.dist = s.dist[:0]
+	for k := epStart + 1; k < epEnd; k++ {
+		d := absI64(r.eps[k].px-first.px) + absI64(r.eps[k].py-first.py)
+		s.order = append(s.order, k)
+		s.dist = append(s.dist, d)
+		for i := len(s.order) - 1; i > 0 && s.dist[i] < s.dist[i-1]; i-- {
+			s.order[i], s.order[i-1] = s.order[i-1], s.order[i]
+			s.dist[i], s.dist[i-1] = s.dist[i-1], s.dist[i]
+		}
+	}
 
-	for _, ep := range rest {
-		epRegion := r.apRegion(ep.access)
+	m := r.cfg.SearchMargin
+	for _, k := range s.order {
+		ep := &r.eps[k]
+		epRg := r.apRegionOf(ep.apStart, ep.apEnd)
 		search := r.clampRegion(region{
-			xlo: min(treeGrid.xlo, epRegion.xlo) - r.cfg.SearchMargin,
-			ylo: min(treeGrid.ylo, epRegion.ylo) - r.cfg.SearchMargin,
-			xhi: max(treeGrid.xhi, epRegion.xhi) + r.cfg.SearchMargin,
-			yhi: max(treeGrid.yhi, epRegion.yhi) + r.cfg.SearchMargin,
+			xlo: min(treeGrid.xlo, epRg.xlo) - m,
+			ylo: min(treeGrid.ylo, epRg.ylo) - m,
+			xhi: max(treeGrid.xhi, epRg.xhi) + m,
+			yhi: max(treeGrid.yhi, epRg.yhi) + m,
 		})
-		path := r.astar(ni, ep.access, tree, treeGrid, search, cw)
+		search = intersectRegion(search, bound)
+		s.tb = treeGrid
+		path := s.astar(ni, ep.apStart, ep.apEnd, search)
 		if path == nil {
-			// Retry with a much larger window before giving up.
-			search = r.clampRegion(region{
-				xlo: search.xlo - 6*r.cfg.SearchMargin, ylo: search.ylo - 6*r.cfg.SearchMargin,
-				xhi: search.xhi + 6*r.cfg.SearchMargin, yhi: search.yhi + 6*r.cfg.SearchMargin,
-			})
-			path = r.astar(ni, ep.access, tree, treeGrid, search, cw)
-		}
-		if path == nil {
-			r.metrics.FailedConns++
-			continue
-		}
-		dm1 := r.classifyDM1(path, pinNodes, ep.isPin)
-		r.addUsage(path, +1)
-		for _, id := range path {
-			tree[id] = struct{}{}
-		}
-		if ep.isPin {
-			for _, ap := range ep.access {
-				pinNodes[ap.node] = struct{}{}
+			if canDefer {
+				// One in-region rescue attempt before deferring.
+				if search != bound {
+					path = s.astar(ni, ep.apStart, ep.apEnd, bound)
+				}
+			} else {
+				// Retry with a much larger window before giving up.
+				retry := r.clampRegion(region{
+					xlo: search.xlo - 6*m, ylo: search.ylo - 6*m,
+					xhi: search.xhi + 6*m, yhi: search.yhi + 6*m,
+				})
+				path = s.astar(ni, ep.apStart, ep.apEnd, retry)
 			}
 		}
-		treeGrid = r.growRegion(treeGrid, path)
-		nr.paths = append(nr.paths, path)
+		if path == nil {
+			if canDefer {
+				s.rollback(nr)
+				return nil, true
+			}
+			s.failedConns++
+			continue
+		}
+		dm1 := s.classifyDM1(path, ep.isPin)
+		r.addUsage(path, +1)
+		for _, id := range path {
+			s.treeMark[id] = s.treeGen
+		}
+		if ep.isPin {
+			for a := ep.apStart; a < ep.apEnd; a++ {
+				s.pinMark[r.apNode[a]] = s.pinGen
+			}
+		}
+		treeGrid = growRegion(treeGrid, path, r)
+
+		off := int32(len(nr.flat))
+		nr.flat = append(nr.flat, path...)
+		nr.seg = append(nr.seg, [2]int32{off, int32(len(nr.flat))})
 		nr.dm1 = append(nr.dm1, dm1)
 	}
-	return nr
+
+	nr.paths = make([][]int32, len(nr.seg))
+	for i, sg := range nr.seg {
+		nr.paths[i] = nr.flat[sg[0]:sg[1]]
+	}
+	return nr, false
+}
+
+// rollback removes the usage of every connection routed so far for a net
+// that is being deferred. All of it lies inside the net's own region, so
+// this is safe mid-batch.
+func (s *searcher) rollback(nr *netRoute) {
+	for _, sg := range nr.seg {
+		s.r.addUsage(nr.flat[sg[0]:sg[1]], -1)
+	}
 }
 
 // classifyDM1 reports whether a connection path is a direct vertical M1
 // route: entirely on one M1 track, spanning at most Gamma rows, landing on
 // a pin node of the tree, with the moving end also a pin.
-func (r *Router) classifyDM1(path []int32, pinNodes map[int32]struct{}, fromPin bool) bool {
+func (s *searcher) classifyDM1(path []int32, fromPin bool) bool {
 	if !fromPin || len(path) == 0 {
 		return false
 	}
+	r := s.r
 	last := path[len(path)-1]
-	if _, ok := pinNodes[last]; !ok {
+	if s.pinMark[last] != s.pinGen {
 		return false
 	}
 	_, x0, y0 := r.nodeOf(path[0])
@@ -348,11 +510,11 @@ func (r *Router) classifyDM1(path []int32, pinNodes map[int32]struct{}, fromPin 
 	return span <= r.cfg.Gamma
 }
 
-// apRegion returns the grid bbox of a set of access points.
-func (r *Router) apRegion(aps []accessPoint) region {
+// apRegionOf returns the grid bbox of access points [lo, hi).
+func (r *Router) apRegionOf(lo, hi int32) region {
 	rg := region{xlo: r.nx, ylo: r.ny, xhi: -1, yhi: -1}
-	for _, ap := range aps {
-		_, x, y := r.nodeOf(ap.node)
+	for k := lo; k < hi; k++ {
+		_, x, y := r.nodeOf(r.apNode[k])
 		if x < rg.xlo {
 			rg.xlo = x
 		}
@@ -369,7 +531,7 @@ func (r *Router) apRegion(aps []accessPoint) region {
 	return rg
 }
 
-func (r *Router) growRegion(rg region, path []int32) region {
+func growRegion(rg region, path []int32, r *Router) region {
 	for _, id := range path {
 		_, x, y := r.nodeOf(id)
 		if x < rg.xlo {
@@ -388,7 +550,8 @@ func (r *Router) growRegion(rg region, path []int32) region {
 	return rg
 }
 
-// addUsage applies (or removes, delta = -1) a path's edge usage.
+// addUsage applies (or removes, delta = -1) a path's edge usage and keeps
+// the cached edge costs in sync at the current congestion weight.
 func (r *Router) addUsage(path []int32, delta int32) {
 	for i := 1; i < len(path); i++ {
 		la, xa, ya := r.nodeOf(path[i-1])
@@ -396,16 +559,26 @@ func (r *Router) addUsage(path []int32, delta int32) {
 		if la != lb {
 			continue // via
 		}
+		var idx int
 		switch {
 		case xa == xb && yb == ya+1:
-			r.usage[la][r.vEdge(xa, ya)] += delta
+			idx = r.vEdge(xa, ya)
 		case xa == xb && yb == ya-1:
-			r.usage[la][r.vEdge(xa, yb)] += delta
+			idx = r.vEdge(xa, yb)
 		case ya == yb && xb == xa+1:
-			r.usage[la][r.hEdge(xa, ya)] += delta
+			idx = r.hEdge(xa, ya)
 		case ya == yb && xb == xa-1:
-			r.usage[la][r.hEdge(xb, ya)] += delta
+			idx = r.hEdge(xb, ya)
+		default:
+			continue
 		}
+		u := r.usage[la][idx] + delta
+		r.usage[la][idx] = u
+		c := r.edgeBase[la]
+		if over := u + 1 - int32(r.cfg.Caps[la]); over > 0 {
+			c += r.edgePitch[la] * r.curCW * float64(over)
+		}
+		r.edgeCost[la][idx] = c
 	}
 }
 
