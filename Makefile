@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet test race bench-smoke bench-json bench-route
+.PHONY: check vet test race bench-smoke bench-json bench-core bench-route
 
 check: vet test race bench-smoke
 
@@ -26,6 +26,11 @@ bench-smoke:
 
 bench-json:
 	BENCH_JSON=1 $(GO) test -run TestEmitBenchCoreJSON -timeout 30m -v .
+
+# Regenerates BENCH_core.json (alias of bench-json, named for symmetry with
+# bench-route): DistOptPass, LPSolve and the other core microbenchmarks,
+# including the simplex-kernel counters (pivots/solve, refactors/solve).
+bench-core: bench-json
 
 # Regenerates BENCH_route.json: the sequential/parallel RouteAll pair plus
 # the speedup over the seed router, with a Metrics-equality check.

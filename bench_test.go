@@ -182,6 +182,19 @@ func BenchmarkSTA(b *testing.B) {
 	}
 }
 
+// reportLPStats attaches the simplex-kernel counters (factor.go) accumulated
+// since start to the benchmark as per-op custom metrics, so kernel regressions
+// show up as pivot/refactorization/fill growth even when wall time is noisy.
+func reportLPStats(b *testing.B, start lp.Stats) {
+	b.Helper()
+	end := lp.GlobalStats()
+	n := float64(b.N)
+	b.ReportMetric(float64(end.Solves-start.Solves)/n, "lp-solves/op")
+	b.ReportMetric(float64(end.Pivots-start.Pivots)/n, "pivots/op")
+	b.ReportMetric(float64(end.Refactors-start.Refactors)/n, "refactors/op")
+	b.ReportMetric(float64(end.FillNnz-start.FillNnz)/n, "fill-nnz/op")
+}
+
 // BenchmarkDistOptPass measures one parallel window-optimization pass.
 func BenchmarkDistOptPass(b *testing.B) {
 	p := placedDesign(b, tech.ClosedM1, 800)
@@ -189,9 +202,11 @@ func BenchmarkDistOptPass(b *testing.B) {
 	prm.Workers = 8
 	ps := core.ParamSet{BW: expt.UmToDBU(20), BH: expt.UmToDBU(20), LX: 4, LY: 1}
 	b.ResetTimer()
+	stats := lp.GlobalStats()
 	for i := 0; i < b.N; i++ {
 		core.DistOpt(p, prm, ps, 0, 0, true, false)
 	}
+	reportLPStats(b, stats)
 }
 
 // BenchmarkCalculateObjIncremental measures ObjTracker.ApplyMoves — the
@@ -254,12 +269,14 @@ func BenchmarkLPSolve(b *testing.B) {
 		m.AddRow(lp.LE, float64(rng.Intn(50)+10), terms...)
 	}
 	b.ResetTimer()
+	stats := lp.GlobalStats()
 	for i := 0; i < b.N; i++ {
 		sol := m.Solve()
 		if sol.Status != lp.Optimal {
 			b.Fatalf("status %s", sol.Status)
 		}
 	}
+	reportLPStats(b, stats)
 }
 
 // TestEmitBenchCoreJSON regenerates BENCH_core.json, the machine-readable
@@ -277,6 +294,10 @@ func TestEmitBenchCoreJSON(t *testing.T) {
 		AllocsPerOp int64 `json:"allocs_per_op"`
 		BytesPerOp  int64 `json:"bytes_per_op"`
 		N           int   `json:"n"`
+		// Extra carries the custom per-op metrics a benchmark reported —
+		// for the LP-backed benches the simplex-kernel counters
+		// (pivots/op, refactors/op, fill-nnz/op, lp-solves/op).
+		Extra map[string]float64 `json:"extra,omitempty"`
 	}
 	out := struct {
 		Note    string           `json:"note"`
@@ -297,6 +318,7 @@ func TestEmitBenchCoreJSON(t *testing.T) {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			N:           r.N,
+			Extra:       r.Extra,
 		}
 		t.Logf("%s: %s", name, r)
 	}

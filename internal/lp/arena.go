@@ -5,9 +5,9 @@ import "time"
 // Arena is a reusable scratch workspace for repeated solves. A single
 // branch-and-bound run over one window MILP re-solves the same Model
 // hundreds of times with different bounds; without a scratch arena every
-// solve allocates a fresh dense basis inverse (rows² floats) plus a dozen
-// working vectors, which makes allocation and GC the second-largest cost
-// of the optimizer after the simplex arithmetic itself.
+// solve allocates a fresh basis factorization plus a dozen working
+// vectors, which makes allocation and GC a significant cost of the
+// optimizer on top of the simplex arithmetic itself.
 //
 // An Arena is owned by exactly one caller at a time (one DistOpt worker
 // goroutine, one MILP solve); it is not safe for concurrent use. Slices
@@ -27,18 +27,39 @@ type Arena struct {
 	colNorm []float64
 	rhs     []float64 // perturbed RHS cache
 
+	// Row-wise (CSR) copy of the structural constraint matrix, for the
+	// dual-simplex pivot-row computation: α = ρᵀ·A gathered column-by-column
+	// costs O(nTotal·nnz/col) per pivot, but scattered row-by-row it only
+	// touches the columns of ρ's nonzero rows — and ρ = Bᵀ⁻¹·e_r is usually
+	// hyper-sparse. Slack/artificial columns are unit vectors and are
+	// scattered directly, so only structural entries are stored.
+	rowPtr []int32
+	rowCol []int32
+	rowVal []float64
+
+	// lu is the sparse basis factorization (factor.go). It persists
+	// across solves: a warm re-solve picks up the previous optimal basis's
+	// factor and eta file as-is, refactorizing only when the fill or
+	// stability triggers fire.
+	lu *luFactor
+
 	// Per-solve working storage, reset by newSimplex/solve.
 	objP2      []float64
 	lo, hi     []float64
 	state      []varState
 	xN, xB     []float64
-	binv       []float64
 	basis      []int
 	inBasisRow []int
 	resid      []float64
 	phase1Obj  []float64
 	y, w       []float64
+	rho        []float64 // dual-simplex pivot-row BTRAN result
+	wInd       []int32   // nonzero slots of the FTRAN spike in w
+	cand       []int32   // pricing candidate list (lp.go)
+	candScore  []float64
 	d, alpha   []float64 // dual-simplex reduced costs and pivot row
+	alphaInd   []int32   // nonzero columns of alpha (dual pivot-row scatter)
+	alphaSeen  []bool    // scatter dedup marks; all-false outside the scatter
 	redCost    []float64 // Solution.RedCost backing store
 
 	// deadline, when set, makes iterate/dualIterate abort with IterLimit
@@ -49,22 +70,32 @@ type Arena struct {
 	hasDL    bool
 
 	// Warm-start state: warm is set when the last solve of the bound model
-	// finished phase 2 optimal, so the basis factorization left in binv/
+	// finished phase 2 optimal, so the basis factorization left in lu/
 	// basis/state/xN is dual feasible for any bound-change re-solve (branch-
-	// and-bound children). warmSolves counts consecutive warm solves; a
-	// periodic cold refresh bounds the eta-update drift accumulated in binv.
+	// and-bound children). warmSolves counts consecutive warm solves for
+	// the coarse cold-refresh backstop in dual.go.
 	warm       bool
 	warmSolves int
 }
 
 // NewArena returns an empty scratch workspace.
-func NewArena() *Arena { return &Arena{} }
+func NewArena() *Arena { return &Arena{lu: &luFactor{}} }
 
 // SetDeadline arms (or, with the zero time, disarms) the wall-clock abort
 // for every solve that uses this arena.
 func (a *Arena) SetDeadline(t time.Time) {
 	a.deadline = t
 	a.hasDL = !t.IsZero()
+}
+
+// Stats returns the cumulative simplex-kernel counters of every solve that
+// used this arena (solves, pivots, refactorizations, fill-in, eta file
+// growth). See GlobalStats for the process-wide aggregate.
+func (a *Arena) Stats() Stats {
+	if a.lu == nil {
+		return Stats{}
+	}
+	return a.lu.stats
 }
 
 // bind points the arena at a model, rebuilding the model-keyed caches if
@@ -74,10 +105,14 @@ func (a *Arena) bind(m *Model) bool {
 	n := m.NumVars()
 	rows := m.NumRows()
 	nTotal := n + 2*rows
+	if a.lu == nil {
+		a.lu = &luFactor{}
+	}
 	cached := a.model == m && a.nVars == n && a.nRows == rows
 	if !cached {
 		a.model, a.nVars, a.nRows = m, n, rows
 		a.warm = false
+		a.lu.reset(rows)
 		a.cols = growSlice(a.cols, nTotal)
 		copy(a.cols, m.cols)
 		a.unit = growSlice(a.unit, 2*rows)
@@ -88,6 +123,7 @@ func (a *Arena) bind(m *Model) bool {
 			a.cols[n+rows+i] = a.unit[rows+i : rows+i+1 : rows+i+1]
 		}
 		a.colNorm = a.colNorm[:0] // recomputed lazily by iterate
+		a.rowPtr = a.rowPtr[:0] // CSR rebuilt lazily by ensureRowMatrix
 		a.rhs = growSlice(a.rhs, rows)
 		copy(a.rhs, m.rhs)
 		perturbRHS(a.rhs)
@@ -98,16 +134,57 @@ func (a *Arena) bind(m *Model) bool {
 	a.state = growSlice(a.state, nTotal)
 	a.xN = growSlice(a.xN, nTotal)
 	a.xB = growSlice(a.xB, rows)
-	a.binv = growSlice(a.binv, rows*rows)
 	a.basis = growSlice(a.basis, rows)
 	a.inBasisRow = growSlice(a.inBasisRow, nTotal)
 	a.resid = growSlice(a.resid, rows)
 	a.phase1Obj = growSlice(a.phase1Obj, nTotal)
 	a.y = growSlice(a.y, rows)
 	a.w = growSlice(a.w, rows)
+	clear(a.w) // spike scratch must start zero (ftranSpike contract)
+	a.rho = growSlice(a.rho, rows)
+	a.wInd = growSlice(a.wInd, rows)[:0]
+	a.cand = growSlice(a.cand, candListCap)[:0]
+	a.candScore = growSlice(a.candScore, candListCap)[:0]
 	a.d = growSlice(a.d, nTotal)
 	a.alpha = growSlice(a.alpha, nTotal)
+	a.alphaInd = growSlice(a.alphaInd, nTotal)[:0]
+	a.alphaSeen = growSlice(a.alphaSeen, nTotal)
 	return cached
+}
+
+// ensureRowMatrix transposes the bound model's structural columns into the
+// CSR rows used by the dual pivot-row scatter (see rowPtr). Built on the
+// first warm solve rather than in bind: purely cold consumers never pay for
+// it. Entries within a row are in ascending column order, which keeps the
+// dual candidate walk deterministic.
+func (a *Arena) ensureRowMatrix() {
+	rows := a.nRows
+	if len(a.rowPtr) == rows+1 {
+		return
+	}
+	m := a.model
+	a.rowPtr = growSlice(a.rowPtr, rows+1)
+	clear(a.rowPtr)
+	for j := 0; j < a.nVars; j++ {
+		for _, e := range m.cols[j] {
+			a.rowPtr[e.row+1]++
+		}
+	}
+	for i := 0; i < rows; i++ {
+		a.rowPtr[i+1] += a.rowPtr[i]
+	}
+	nnz := int(a.rowPtr[rows])
+	a.rowCol = growSlice(a.rowCol, nnz)
+	a.rowVal = growSlice(a.rowVal, nnz)
+	cur := append([]int32(nil), a.rowPtr[:rows]...)
+	for j := 0; j < a.nVars; j++ {
+		for _, e := range m.cols[j] {
+			p := cur[e.row]
+			a.rowCol[p] = int32(j)
+			a.rowVal[p] = e.val
+			cur[e.row] = p + 1
+		}
+	}
 }
 
 // growSlice returns s resized to length n, reusing its backing array when

@@ -1,0 +1,79 @@
+package lp
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestArenaSequentialHandoff reproduces the DistOpt worker-pool ownership
+// pattern: one Arena is passed between goroutines through a channel, each
+// goroutine running a window's worth of warm re-solves before handing it on.
+// An Arena is documented as single-owner, not concurrency-safe; the channel
+// hand-off provides the happens-before edge. Under `make race` this test
+// verifies that the kernel itself introduces no hidden shared state (e.g.
+// package-level scratch) that would break that contract — the global stats
+// counters are the one intentional exception and are atomic.
+func TestArenaSequentialHandoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := genLP(rng)
+	if m.Solve().Status != Optimal {
+		// Regenerate until the base instance is optimal so warm solves run.
+		for s := int64(8); ; s++ {
+			rng = rand.New(rand.NewSource(s))
+			m = genLP(rng)
+			if m.Solve().Status == Optimal {
+				break
+			}
+		}
+	}
+
+	const workers = 4
+	const rounds = 8
+	ch := make(chan *Arena, 1)
+	ch <- NewArena()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for r := 0; r < rounds; r++ {
+				a := <-ch // take ownership
+				lo, hi := m.Bounds()
+				for step := 0; step < 3; step++ {
+					tightenBounds(rng, lo, hi)
+					sol := m.SolveWithScratch(lo, hi, nil, a)
+					if sol.Status == IterLimit {
+						t.Errorf("worker %d: unexpected iteration limit", w)
+					}
+					if sol.Status != Optimal {
+						break
+					}
+				}
+				// Exercise the deadline path too: an already-expired
+				// deadline must abort cleanly and leave the arena reusable.
+				if r == rounds/2 {
+					a.SetDeadline(time.Now().Add(-time.Second))
+					if sol := m.Solve(); sol == nil {
+						t.Errorf("worker %d: nil solution", w)
+					}
+					_ = m.SolveWithScratch(nil, nil, nil, a)
+					a.SetDeadline(time.Time{})
+					if sol := m.SolveWithScratch(nil, nil, nil, a); sol.Status != Optimal {
+						t.Errorf("worker %d: arena not reusable after deadline abort: %v", w, sol.Status)
+					}
+				}
+				ch <- a // release ownership
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	a := <-ch
+	if a.Stats().Solves == 0 {
+		t.Fatalf("arena stats recorded no solves")
+	}
+}

@@ -2,7 +2,7 @@ package lp
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -14,16 +14,17 @@ import (
 // not on the bounds), so the optimal basis of any previous solve is a valid
 // dual-simplex start for the next one: typically only the handful of basic
 // variables whose bounds tightened violate primality, and each is repaired
-// by one dual pivot. That turns an O(rows²)-per-pivot, hundreds-of-pivots
-// cold solve into a few pivots plus two dense mat-vecs — the difference
-// between window MILPs hitting their time budget and finishing it.
+// by one dual pivot. The basis factorization (and its eta file) survives in
+// the arena between solves, so a warm re-solve costs a few sparse
+// FTRAN/BTRANs plus those pivots — the difference between window MILPs
+// hitting their time budget and finishing it.
 
 // maxWarmSolves bounds consecutive warm solves before a forced cold
-// refresh. Each warm solve appends a few eta updates to the basis inverse
-// without refactorization; a periodic cold start (which rebuilds binv from
-// the identity) keeps the accumulated floating-point drift comparable to a
-// single cold solve's pivot count.
-const maxWarmSolves = 64
+// refresh. The factorized kernel refactorizes on its own fill/instability
+// triggers, so drift no longer accumulates the way dense eta updates did;
+// the cap remains as a coarse backstop against pathological bases that the
+// triggers miss.
+const maxWarmSolves = 256
 
 // warmTol is the dual-feasibility and primal-violation tolerance of the
 // warm path; looser than costTol because the inherited basis carries drift.
@@ -44,8 +45,15 @@ func (s *simplex) warmSolve() *Solution {
 	s.xN = a.xN
 	s.basis = a.basis
 	s.inBasisRow = a.inBasisRow
-	s.binv = a.binv
 	s.xB = a.xB
+
+	// Trim the eta file before starting if it has outgrown its triggers;
+	// a basis the factorization rejects is not worth warm starting.
+	if s.lu.needsRefactor() {
+		if !s.lu.factorize(s.cols, s.basis[:rows]) {
+			return nil
+		}
+	}
 
 	// Re-park nonbasic variables on their (possibly changed) bounds. Free
 	// variables parked off-bound keep their value.
@@ -62,23 +70,15 @@ func (s *simplex) warmSolve() *Solution {
 		}
 	}
 
-	// Reduced costs d_j = c_j − y·A_j with y = c_B·Binv. Dual
-	// infeasibilities are repaired by bound flips below; computing d before
-	// xB lets the flips feed into the basic-value computation.
+	// Reduced costs d_j = c_j − y·A_j with y = Bᵀ⁻¹·c_B (one sparse
+	// BTRAN). Dual infeasibilities are repaired by bound flips below;
+	// computing d before xB lets the flips feed into the basic-value
+	// computation.
 	y := a.y
-	for k := 0; k < rows; k++ {
-		y[k] = 0
-	}
 	for i := 0; i < rows; i++ {
-		cb := s.objP2[s.basis[i]]
-		if cb == 0 {
-			continue
-		}
-		row := s.binv[i*rows : (i+1)*rows]
-		for k := 0; k < rows; k++ {
-			y[k] += cb * row[k]
-		}
+		y[i] = s.objP2[s.basis[i]]
 	}
+	s.lu.btranDense(y[:rows])
 	d := a.d
 	for j := 0; j < s.nTotal; j++ {
 		if s.state[j] == basic {
@@ -123,26 +123,10 @@ func (s *simplex) warmSolve() *Solution {
 		}
 	}
 
-	// xB = Binv · (b − Σ_{j nonbasic} A_j·xN_j).
-	resid := a.resid
-	copy(resid, s.rhs)
-	for j := 0; j < s.nTotal; j++ {
-		if s.state[j] == basic || s.xN[j] == 0 {
-			continue
-		}
-		v := s.xN[j]
-		for _, e := range s.cols[j] {
-			resid[e.row] -= e.val * v
-		}
-	}
-	for i := 0; i < rows; i++ {
-		row := s.binv[i*rows : (i+1)*rows]
-		sum := 0.0
-		for k := 0; k < rows; k++ {
-			sum += row[k] * resid[k]
-		}
-		s.xB[i] = sum
-	}
+	// xB = B⁻¹·(b − Σ_{j nonbasic} A_j·xN_j), one sparse FTRAN.
+	s.recomputeXB()
+
+	a.ensureRowMatrix() // CSR rows for dualIterate's pivot-row scatter
 
 	sol := s.dualIterate(d, rows+200)
 	if sol != nil {
@@ -155,19 +139,23 @@ func (s *simplex) warmSolve() *Solution {
 // feasible) basis until primal feasibility, using the bound-flip ratio
 // test: within one iteration, candidates are taken in increasing dual
 // ratio; each that cannot absorb the leaving row's whole violation flips
-// to its opposite bound (O(rows), no basis change), and the first that can
-// performs the single actual pivot. One iteration therefore fully repairs
-// one violated row, so the pivot count tracks the number of bound changes
-// since the basis was optimal — a handful for branch-and-bound children.
+// to its opposite bound (one sparse FTRAN, no basis change), and the first
+// that can performs the single actual pivot. One iteration therefore fully
+// repairs one violated row, so the pivot count tracks the number of bound
+// changes since the basis was optimal — a handful for branch-and-bound
+// children.
 //
 // It returns a nil Solution when the caller should fall back to a cold
-// solve (iteration cap: the basis is too far from the new bounds to be
-// worth repairing), and an Infeasible Solution when the dual is unbounded
-// — the standard certificate that the new bounds admit no feasible point.
-// In both cases the basis remains dual feasible for future warm starts.
+// solve (iteration cap or numerical failure: the basis is too far from the
+// new bounds to be worth repairing), and an Infeasible Solution when the
+// dual is unbounded — the standard certificate that the new bounds admit
+// no feasible point. In both cases the basis remains dual feasible for
+// future warm starts.
 func (s *simplex) dualIterate(d []float64, maxIters int) *Solution {
 	rows := s.nRows
+	f := s.lu
 	alpha := s.arena.alpha
+	rho := s.arena.rho
 	w := s.arena.w
 	type cand struct {
 		j     int
@@ -175,26 +163,26 @@ func (s *simplex) dualIterate(d []float64, maxIters int) *Solution {
 	}
 	var cands []cand
 
-	// applyCol moves nonbasic variable j by t: xB -= t·(Binv·A_j), leaving
-	// the result in w for a subsequent pivot.
+	// applyCol moves nonbasic variable j by t: xB -= t·(B⁻¹·A_j), leaving
+	// the spike and its nonzero list in w/wInd for a subsequent pivot.
 	applyCol := func(j int, t float64) {
-		for i := 0; i < rows; i++ {
-			w[i] = 0
-		}
-		for _, e := range s.cols[j] {
-			v := e.val
-			for i := 0; i < rows; i++ {
-				w[i] += v * s.binv[i*rows+e.row]
-			}
-		}
+		s.arena.wInd = f.ftranSpike(s.cols[j], w, s.arena.wInd)
 		if t != 0 {
-			for i := 0; i < rows; i++ {
-				s.xB[i] -= t * w[i]
+			for _, wi := range s.arena.wInd {
+				s.xB[wi] -= t * w[wi]
 			}
 		}
 	}
 
 	for iters := 0; ; iters++ {
+		// Keep the eta file inside its fill triggers; refactorization
+		// failure sends the caller to the cold path.
+		if f.needsRefactor() {
+			if !s.refactorize() {
+				return nil
+			}
+		}
+
 		// Leaving row: the most violated basic variable.
 		r, viol := -1, warmTol
 		toUpper := false
@@ -234,21 +222,54 @@ func (s *simplex) dualIterate(d []float64, maxIters int) *Solution {
 		}
 		delta := s.xB[r] - target // >0 leaving to upper, <0 to lower
 
-		// Pivot row α_j = (e_r·Binv)·A_j; collect the candidates that can
-		// move in the direction that shrinks row r's violation, with their
-		// dual ratios |d_j/α_rj| (the θ at which reduced cost j would turn
-		// infeasible under the update d'_j = d_j − θ·α_rj).
-		brow := s.binv[r*rows : (r+1)*rows]
+		// Pivot row α_j = ρ·A_j with ρ = Bᵀ⁻¹·e_r (one sparse BTRAN of a
+		// unit vector). ρ is usually hyper-sparse (a few nonzero rows for a
+		// localized basis change), so α is scattered row-by-row from the
+		// arena's CSR matrix instead of gathered over every column: only the
+		// columns of ρ's nonzero rows are touched, and alphaInd records them
+		// so the ratio walk and the dual update below skip the rest.
+		f.btranUnit(r, rho[:rows])
+		n := s.nStruct
+		aInd := s.arena.alphaInd[:0]
+		seen := s.arena.alphaSeen
+		rowPtr, rowCol, rowVal := s.arena.rowPtr, s.arena.rowCol, s.arena.rowVal
+		for i := 0; i < rows; i++ {
+			ri := rho[i]
+			if ri == 0 {
+				continue
+			}
+			// Slack and artificial columns of row i are the unit vector e_i:
+			// they appear in no other row, so no dedup needed.
+			sj, aj := int32(n+i), int32(n+rows+i)
+			alpha[sj] = ri
+			alpha[aj] = ri
+			aInd = append(aInd, sj, aj)
+			for e := rowPtr[i]; e < rowPtr[i+1]; e++ {
+				j := rowCol[e]
+				if !seen[j] {
+					seen[j] = true
+					alpha[j] = 0
+					aInd = append(aInd, j)
+				}
+				alpha[j] += ri * rowVal[e]
+			}
+		}
+		for _, j := range aInd {
+			seen[j] = false
+		}
+		s.arena.alphaInd = aInd
+
+		// Collect the candidates that can move in the direction that shrinks
+		// row r's violation, with their dual ratios |d_j/α_rj| (the θ at
+		// which reduced cost j would turn infeasible under the update
+		// d'_j = d_j − θ·α_rj).
 		cands = cands[:0]
-		for j := 0; j < s.nTotal; j++ {
+		for _, j32 := range aInd {
+			j := int(j32)
 			if s.state[j] == basic {
 				continue
 			}
-			av := 0.0
-			for _, e := range s.cols[j] {
-				av += brow[e.row] * e.val
-			}
-			alpha[j] = av
+			av := alpha[j]
 			if math.Abs(av) < pivotTol {
 				continue
 			}
@@ -269,7 +290,19 @@ func (s *simplex) dualIterate(d []float64, maxIters int) *Solution {
 			}
 			cands = append(cands, cand{j: j, ratio: math.Abs(d[j]) / math.Abs(av)})
 		}
-		sort.Slice(cands, func(a, b int) bool { return cands[a].ratio < cands[b].ratio })
+		// Ties broken by column index so the walk order is canonical (it no
+		// longer depends on the scatter order above). slices.SortFunc avoids
+		// sort.Slice's reflection-based swapper, which showed up at ~10% of a
+		// DistOpt pass.
+		slices.SortFunc(cands, func(a, b cand) int {
+			switch {
+			case a.ratio < b.ratio:
+				return -1
+			case a.ratio > b.ratio:
+				return 1
+			}
+			return a.j - b.j
+		})
 
 		// Walk candidates in ratio order, flipping each one whose range
 		// cannot absorb the remaining violation; the first that can absorb
@@ -296,8 +329,9 @@ func (s *simplex) dualIterate(d []float64, maxIters int) *Solution {
 				tPivot = dir * tNeed
 				break
 			}
-			// Full flip to the opposite bound: no basis change, O(rows).
+			// Full flip to the opposite bound: no basis change, one FTRAN.
 			applyCol(j, dir*rng)
+			clearSpike(w, s.arena.wInd)
 			if dir > 0 {
 				s.state[j] = atUpper
 				s.xN[j] = s.hi[j]
@@ -320,8 +354,20 @@ func (s *simplex) dualIterate(d []float64, maxIters int) *Solution {
 		}
 
 		// Pivot: entering moves by tPivot, absorbing the rest of the
-		// violation; the leaving variable exits to the violated bound.
+		// violation; the leaving variable exits to the violated bound. The
+		// spike left in w/wInd by applyCol becomes the eta update.
 		applyCol(enter, tPivot)
+		wInd := s.arena.wInd
+		if !f.appendEta(w, wInd, r, f.nEtas() == 0) {
+			// Unstable update: refactorize (which also rebuilds xB from the
+			// nonbasic values, discarding the step just applied) and retry
+			// the repair of the same row with a drift-free factorization.
+			clearSpike(w, wInd)
+			if !s.refactorize() {
+				return nil
+			}
+			continue
+		}
 		enterVal := s.xN[enter] + tPivot
 		s.inBasisRow[out] = -1
 		if toUpper {
@@ -334,33 +380,17 @@ func (s *simplex) dualIterate(d []float64, maxIters int) *Solution {
 		s.inBasisRow[enter] = r
 		s.state[enter] = basic
 		s.xB[r] = enterVal
-
-		// Eta update of Binv (same transform as the primal path).
-		piv := w[r]
-		prow := s.binv[r*rows : (r+1)*rows]
-		inv := 1 / piv
-		for k := 0; k < rows; k++ {
-			prow[k] *= inv
-		}
-		for i := 0; i < rows; i++ {
-			if i == r {
-				continue
-			}
-			f := w[i]
-			if f == 0 {
-				continue
-			}
-			row := s.binv[i*rows : (i+1)*rows]
-			for k := 0; k < rows; k++ {
-				row[k] -= f * prow[k]
-			}
-		}
+		clearSpike(w, wInd)
+		f.stats.Pivots++
 
 		// Dual update: θ = d_enter/α_r,enter; d'_j = d_j − θ·α_rj for the
 		// still-nonbasic columns, d'_out = −θ (α_r,out = 1), d'_enter = 0.
 		theta := d[enter] / alpha[enter]
 		if theta != 0 {
-			for j := 0; j < s.nTotal; j++ {
+			// Only columns with a nonzero pivot-row entry move; alphaInd
+			// lists exactly those.
+			for _, j32 := range aInd {
+				j := int(j32)
 				if s.state[j] != basic && alpha[j] != 0 {
 					d[j] -= theta * alpha[j]
 				}

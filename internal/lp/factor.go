@@ -1,0 +1,561 @@
+package lp
+
+import "sync/atomic"
+
+// Sparse LU factorization of the simplex basis.
+//
+// The basis matrix B has one column per basis slot i holding the constraint
+// column of basis[i]. Window-MILP bases are overwhelmingly sparse — unit
+// slack/artificial columns, exactly-one candidate rows and big-G indicator
+// rows contribute a handful of nonzeros each — so the factorization and the
+// FTRAN/BTRAN solves built on it (ftran.go) run in O(nnz) instead of the
+// O(rows²) per pivot the dense explicit inverse paid.
+//
+// Factorization is Gaussian elimination with Markowitz ordering: each step
+// pivots on an entry minimizing (rowCount−1)·(colCount−1) among the lowest
+// column counts, subject to a relative magnitude threshold, which keeps
+// fill-in near zero on these assignment-structured bases (singleton slack
+// columns eliminate for free). Basis changes append product-form eta
+// vectors (the FTRAN spike of the entering column); a fresh factorization
+// replaces the eta file when it grows past a fill trigger or an update
+// pivot falls below the stability threshold, bounding both work and the
+// floating-point drift that the dense kernel could only wash out with a
+// full cold restart.
+
+const (
+	// markowitzThresh accepts a pivot only when its magnitude is at least
+	// this fraction of the largest entry in its column (threshold partial
+	// pivoting): small enough to let Markowitz choose freely, large enough
+	// to bound element growth.
+	markowitzThresh = 0.01
+	// absPivotTol is the hard floor below which an entry never pivots; a
+	// factorization that cannot avoid it reports a singular basis.
+	absPivotTol = 1e-11
+	// maxEtas triggers refactorization once this many product-form updates
+	// accumulate.
+	maxEtas = 48
+	// etaFillFactor triggers refactorization when the eta file's nonzeros
+	// exceed this multiple of the base factorization's fill.
+	etaFillFactor = 4
+	// etaPivotTol: a spike whose pivot entry is below this fraction of the
+	// spike's largest entry makes the product-form update too unstable to
+	// append; the pivot refactorizes instead.
+	etaPivotTol = 1e-7
+)
+
+// Stats counts simplex-kernel work, for telemetry. Per-arena counts are
+// cumulative over the arena's lifetime (Arena.Stats); GlobalStats
+// aggregates across all arenas in the process.
+type Stats struct {
+	Solves    int64 // LP solves completed (cold or warm)
+	Pivots    int64 // basis changes, primal and dual
+	Refactors int64 // sparse LU factorizations performed
+	FillNnz   int64 // total L+U nonzeros produced by those factorizations
+	EtaNnz    int64 // total eta-file nonzeros appended between them
+}
+
+var globalStats struct {
+	solves, pivots, refactors, fillNnz, etaNnz atomic.Int64
+}
+
+// GlobalStats returns process-wide kernel counters, aggregated once per
+// completed solve (cheap enough to leave always-on; benchmarks report the
+// deltas via b.ReportMetric).
+func GlobalStats() Stats {
+	return Stats{
+		Solves:    globalStats.solves.Load(),
+		Pivots:    globalStats.pivots.Load(),
+		Refactors: globalStats.refactors.Load(),
+		FillNnz:   globalStats.fillNnz.Load(),
+		EtaNnz:    globalStats.etaNnz.Load(),
+	}
+}
+
+// flushGlobal publishes the delta since the last flush to the process-wide
+// counters (one batch of atomic adds per solve, not per pivot).
+func (f *luFactor) flushGlobal() {
+	d := f.stats
+	p := f.flushed
+	globalStats.solves.Add(d.Solves - p.Solves)
+	globalStats.pivots.Add(d.Pivots - p.Pivots)
+	globalStats.refactors.Add(d.Refactors - p.Refactors)
+	globalStats.fillNnz.Add(d.FillNnz - p.FillNnz)
+	globalStats.etaNnz.Add(d.EtaNnz - p.EtaNnz)
+	f.flushed = d
+}
+
+// luFactor holds the base factorization P·B·Q = L·U plus the product-form
+// eta file, along with the scratch both factorization and solves use. One
+// luFactor lives in each Arena and is reused by every solve sharing it.
+type luFactor struct {
+	m int // basis dimension (= nRows of the model)
+
+	// Elimination order: step k pivoted on constraint row pr[k] and basis
+	// slot pc[k]; colOf inverts pc (slot → step).
+	pr, pc []int32
+	colOf  []int32
+
+	// L multipliers of step k (lptr[k]..lptr[k+1]): elimination subtracted
+	// lval × (pivot row k) from row lrow; FTRAN replays the same
+	// operations on the right-hand side. lsteps lists the steps that have
+	// any multipliers at all — sparse bases eliminate mostly singletons, so
+	// the replays walk this short list instead of all m steps.
+	lptr   []int32
+	lrow   []int32
+	lval   []float64
+	lsteps []int32
+
+	// U row of step k (uptr[k]..uptr[k+1]) with the pivot in upiv[k]; ucol
+	// holds the *elimination step* of each off-pivot column (remapped from
+	// slots after factorization), so the triangular solves index their
+	// step-ordered scratch directly.
+	uptr []int32
+	ucol []int32
+	uval []float64
+	upiv []float64
+
+	// U by columns (rebuilt after each factorization from the row form):
+	// column of step c holds the entries U[k,c] with k < c, with ucrow the
+	// row's step index. The FTRAN back substitution scatters through these
+	// columns and skips zero steps outright — with the row form it would
+	// have to touch every U entry per solve even for a two-nonzero spike.
+	ucptr []int32
+	ucrow []int32
+	ucval []float64
+
+	// Product-form eta file: update t (eptr[t]..eptr[t+1]) stores the
+	// off-pivot nonzeros of the entering column's spike in slot space;
+	// epos[t] is the pivot slot, epiv[t] the spike's pivot entry.
+	eptr []int32
+	eidx []int32
+	eval []float64
+	epos []int32
+	epiv []float64
+
+	// Factorization scratch: the active submatrix as live sparse rows plus
+	// a (superset) column→rows incidence. The per-row/-column slices are
+	// carved from the flat backing arrays below (exact pre-counted
+	// capacities); only fill-in pushes a row past its carve and reallocates
+	// that one slice.
+	rowCol  [][]int32
+	rowVal  [][]float64
+	colRows [][]int32
+	rcBack  []int32
+	rvBack  []float64
+	crBack  []int32
+	rowCnt  []int32
+	colCnt  []int32
+	rowDone []bool
+	colDone []bool
+	csing   []int32 // queue of columns whose live count dropped to 1
+
+	// Solve scratch: tmp is the step-ordered intermediate of the
+	// triangular solves; dense is a spare row/slot-space vector.
+	tmp   []float64
+	dense []float64
+
+	nnzLU int // fill of the current base factorization (L + U + pivots)
+
+	stats   Stats
+	flushed Stats
+}
+
+// reset sizes the factor for an m-row basis, invalidating any previous
+// factorization and eta file.
+func (f *luFactor) reset(m int) {
+	f.m = m
+	f.pr = growSlice(f.pr, m)
+	f.pc = growSlice(f.pc, m)
+	f.colOf = growSlice(f.colOf, m)
+	f.tmp = growSlice(f.tmp, m)
+	f.dense = growSlice(f.dense, m)
+	f.lptr = append(f.lptr[:0], 0)
+	f.lsteps = f.lsteps[:0]
+	f.uptr = append(f.uptr[:0], 0)
+	f.upiv = f.upiv[:0]
+	f.clearEtas()
+}
+
+func (f *luFactor) clearEtas() {
+	f.eptr = append(f.eptr[:0], 0)
+	f.eidx = f.eidx[:0]
+	f.eval = f.eval[:0]
+	f.epos = f.epos[:0]
+	f.epiv = f.epiv[:0]
+}
+
+// nEtas returns the number of product-form updates stacked on the base
+// factorization.
+func (f *luFactor) nEtas() int { return len(f.epos) }
+
+// needsRefactor reports whether the eta file has outgrown its triggers.
+// The update cap scales with the basis dimension: every FTRAN/BTRAN pays
+// for the whole eta file, while refactorizing a small basis is nearly
+// free, so tiny bases (single-row knapsack relaxations) refactor after a
+// handful of updates and big windows amortize up to maxEtas.
+func (f *luFactor) needsRefactor() bool {
+	cap := f.m/2 + 4
+	if cap > maxEtas {
+		cap = maxEtas
+	}
+	return f.nEtas() >= cap || len(f.eidx) > etaFillFactor*(f.nnzLU+f.m)
+}
+
+// factorize computes a fresh P·B·Q = L·U for the basis (slot i holds the
+// column of variable basis[i]) and empties the eta file. It returns false
+// when the basis is numerically singular, leaving the factor unusable; the
+// caller must then rebuild from a basis it can factor.
+func (f *luFactor) factorize(cols [][]entry, basis []int) bool {
+	m := f.m
+	f.clearEtas()
+	f.lptr = append(f.lptr[:0], 0)
+	f.lrow = f.lrow[:0]
+	f.lval = f.lval[:0]
+	f.lsteps = f.lsteps[:0]
+	f.uptr = append(f.uptr[:0], 0)
+	f.ucol = f.ucol[:0]
+	f.uval = f.uval[:0]
+	f.upiv = f.upiv[:0]
+
+	// Build the active matrix row-wise with column incidence.
+	if cap(f.rowCol) < m {
+		f.rowCol = make([][]int32, m)
+		f.rowVal = make([][]float64, m)
+		f.colRows = make([][]int32, m)
+	}
+	f.rowCol = f.rowCol[:m]
+	f.rowVal = f.rowVal[:m]
+	f.colRows = f.colRows[:m]
+	f.rowCnt = growSlice(f.rowCnt, m)
+	f.colCnt = growSlice(f.colCnt, m)
+	f.rowDone = growSlice(f.rowDone, m)
+	f.colDone = growSlice(f.colDone, m)
+	// Count nonzeros per row, carve the backing arrays into exact-capacity
+	// per-row/-column slices, then fill by (alloc-free) appends.
+	nnz := 0
+	for i := 0; i < m; i++ {
+		f.rowCnt[i], f.colCnt[i] = 0, 0
+		f.rowDone[i], f.colDone[i] = false, false
+	}
+	for j := 0; j < m; j++ {
+		for _, e := range cols[basis[j]] {
+			f.rowCnt[e.row]++
+		}
+		nnz += len(cols[basis[j]])
+	}
+	f.rcBack = growSlice(f.rcBack, nnz)
+	f.rvBack = growSlice(f.rvBack, nnz)
+	f.crBack = growSlice(f.crBack, nnz)
+	pos := 0
+	for i := 0; i < m; i++ {
+		c := pos + int(f.rowCnt[i])
+		f.rowCol[i] = f.rcBack[pos:pos:c]
+		f.rowVal[i] = f.rvBack[pos:pos:c]
+		pos = c
+	}
+	pos = 0
+	for j := 0; j < m; j++ {
+		c := pos + len(cols[basis[j]])
+		f.colRows[j] = f.crBack[pos:pos:c]
+		pos = c
+	}
+	f.csing = f.csing[:0]
+	for j := 0; j < m; j++ {
+		for _, e := range cols[basis[j]] {
+			f.rowCol[e.row] = append(f.rowCol[e.row], int32(j))
+			f.rowVal[e.row] = append(f.rowVal[e.row], e.val)
+			f.colRows[j] = append(f.colRows[j], int32(e.row))
+			f.colCnt[j]++
+		}
+		if f.colCnt[j] == 1 {
+			f.csing = append(f.csing, int32(j))
+		}
+	}
+
+	// val: dense scatter scratch for row combination; zero outside the
+	// current row's support (restored after every gather).
+	val := f.dense
+	clear(val)
+
+	for step := 0; step < m; step++ {
+		// Singleton fast path: a column with one live entry pivots with no
+		// elimination work and no fill. Crash bases (mostly unit slack and
+		// artificial columns) and assignment-structured bases factor almost
+		// entirely through this queue, skipping the Markowitz scans.
+		pi, pj := -1, -1
+		for len(f.csing) > 0 {
+			j := int(f.csing[len(f.csing)-1])
+			f.csing = f.csing[:len(f.csing)-1]
+			if f.colDone[j] || f.colCnt[j] != 1 {
+				continue // stale queue entry
+			}
+			for _, ri := range f.colRows[j] {
+				i := int(ri)
+				if f.rowDone[i] {
+					continue
+				}
+				if v, found := f.rowEntry(i, j); found {
+					// A too-small singleton entry falls through to the
+					// Markowitz/fallback path (near-singular basis).
+					if abs(v) >= absPivotTol {
+						pi, pj = i, j
+					}
+					break
+				}
+			}
+			if pi >= 0 {
+				break
+			}
+		}
+		if pi < 0 {
+			var ok bool
+			pi, pj, ok = f.pickPivot()
+			if !ok {
+				return false
+			}
+		}
+		f.pr[step], f.pc[step] = int32(pi), int32(pj)
+		f.colOf[pj] = int32(step)
+		f.rowDone[pi] = true
+		f.colDone[pj] = true
+
+		// Split the pivot row into pivot entry and U-row remainder.
+		var piv float64
+		uStart := len(f.ucol)
+		for t, c := range f.rowCol[pi] {
+			if int(c) == pj {
+				piv = f.rowVal[pi][t]
+			} else {
+				f.ucol = append(f.ucol, c)
+				f.uval = append(f.uval, f.rowVal[pi][t])
+				if f.colCnt[c]--; f.colCnt[c] == 1 { // row pi leaves the active matrix
+					f.csing = append(f.csing, c)
+				}
+			}
+		}
+		f.upiv = append(f.upiv, piv)
+		uRowC := f.ucol[uStart:]
+		uRowV := f.uval[uStart:]
+		f.uptr = append(f.uptr, int32(len(f.ucol)))
+
+		// Eliminate pj from every other live row carrying it.
+		for _, ri := range f.colRows[pj] {
+			i := int(ri)
+			if f.rowDone[i] {
+				continue
+			}
+			rc, rv := f.rowCol[i], f.rowVal[i]
+			at := -1
+			for t, c := range rc {
+				if int(c) == pj {
+					at = t
+					break
+				}
+			}
+			if at == -1 {
+				continue // stale incidence entry (earlier cancellation)
+			}
+			l := rv[at] / piv
+			f.lrow = append(f.lrow, int32(i))
+			f.lval = append(f.lval, l)
+
+			// row_i -= l × (U part of pivot row), via dense scatter. The
+			// pivot-column entry is dropped; exact cancellations too.
+			rc[at], rv[at] = rc[len(rc)-1], rv[len(rv)-1]
+			rc, rv = rc[:len(rc)-1], rv[:len(rv)-1]
+			for t, c := range rc {
+				val[c] = rv[t]
+			}
+			nc, nv := rc, rv
+			for t, c := range uRowC {
+				if val[c] != 0 {
+					val[c] -= l * uRowV[t]
+					continue
+				}
+				fill := -l * uRowV[t]
+				if fill == 0 {
+					continue
+				}
+				val[c] = fill
+				nc = append(nc, c)
+				nv = append(nv, 0) // value gathered below
+				f.colRows[c] = append(f.colRows[c], ri)
+				f.colCnt[c]++
+			}
+			// Gather back, compacting out cancellations.
+			w := 0
+			for _, c := range nc {
+				v := val[c]
+				val[c] = 0
+				if v == 0 {
+					if f.colCnt[c]--; f.colCnt[c] == 1 && !f.colDone[c] {
+						f.csing = append(f.csing, c)
+					}
+					continue
+				}
+				nc[w], nv[w] = c, v
+				w++
+			}
+			f.rowCol[i], f.rowVal[i] = nc[:w], nv[:w]
+			f.rowCnt[i] = int32(w)
+		}
+		f.colRows[pj] = f.colRows[pj][:0]
+		f.colCnt[pj] = 0
+		f.lptr = append(f.lptr, int32(len(f.lrow)))
+		if f.lptr[step+1] > f.lptr[step] {
+			f.lsteps = append(f.lsteps, int32(step))
+		}
+	}
+
+	// Remap U columns from basis slots to elimination steps so the
+	// triangular solves can index step-ordered scratch directly.
+	for t, c := range f.ucol {
+		f.ucol[t] = f.colOf[c]
+	}
+
+	// Transpose U into column form for the hyper-sparse FTRAN backsolve.
+	// colCnt is dead after elimination and serves as the counting scratch.
+	cnt := f.colCnt
+	for k := 0; k < m; k++ {
+		cnt[k] = 0
+	}
+	for _, c := range f.ucol {
+		cnt[c]++
+	}
+	f.ucptr = growSlice(f.ucptr, m+1)
+	upos := int32(0)
+	for k := 0; k < m; k++ {
+		f.ucptr[k] = upos
+		upos += cnt[k]
+		cnt[k] = 0
+	}
+	f.ucptr[m] = upos
+	f.ucrow = growSlice(f.ucrow, int(upos))
+	f.ucval = growSlice(f.ucval, int(upos))
+	for k := 0; k < m; k++ {
+		for e := f.uptr[k]; e < f.uptr[k+1]; e++ {
+			c := f.ucol[e]
+			at := f.ucptr[c] + cnt[c]
+			cnt[c]++
+			f.ucrow[at] = int32(k)
+			f.ucval[at] = f.uval[e]
+		}
+	}
+
+	f.nnzLU = len(f.lval) + len(f.uval) + m
+	f.stats.Refactors++
+	f.stats.FillNnz += int64(f.nnzLU)
+	return true
+}
+
+// pickPivot selects the next Markowitz pivot: among the live columns with
+// the lowest counts, the entry of minimal (rowCnt−1)·(colCnt−1) whose
+// magnitude passes the relative threshold of its column.
+func (f *luFactor) pickPivot() (pi, pj int, ok bool) {
+	m := f.m
+	minCnt := int32(1<<31 - 1)
+	for j := 0; j < m; j++ {
+		if !f.colDone[j] && f.colCnt[j] > 0 && f.colCnt[j] < minCnt {
+			minCnt = f.colCnt[j]
+		}
+	}
+	pi, pj = -1, -1
+	if minCnt == 1<<31-1 {
+		// No live column has entries: structurally singular (a zero column
+		// slipped into the basis, or everything cancelled numerically).
+		return f.pickPivotFallback()
+	}
+	bestCost := int64(1) << 62
+	var bestVal float64
+	const maxCand = 8
+	cands := 0
+	for j := 0; j < m && cands < maxCand; j++ {
+		if f.colDone[j] || f.colCnt[j] == 0 || f.colCnt[j] > minCnt+1 {
+			continue
+		}
+		cands++
+		colMax, _ := f.colEntry(j, -1)
+		if colMax < absPivotTol {
+			continue
+		}
+		thresh := markowitzThresh * colMax
+		for _, ri := range f.colRows[j] {
+			i := int(ri)
+			if f.rowDone[i] {
+				continue
+			}
+			v, found := f.rowEntry(i, j)
+			if !found || abs(v) < thresh || abs(v) < absPivotTol {
+				continue
+			}
+			cost := int64(f.rowCnt[i]-1) * int64(f.colCnt[j]-1)
+			if cost < bestCost || (cost == bestCost && abs(v) > abs(bestVal)) {
+				bestCost, bestVal = cost, v
+				pi, pj = i, j
+			}
+		}
+	}
+	if pi >= 0 {
+		return pi, pj, true
+	}
+	return f.pickPivotFallback()
+}
+
+// pickPivotFallback scans the whole live submatrix for the entry of
+// largest magnitude — the last resort when no candidate column offers a
+// threshold-passing pivot. Failing here means the basis is singular.
+func (f *luFactor) pickPivotFallback() (pi, pj int, ok bool) {
+	best := absPivotTol
+	pi, pj = -1, -1
+	for i := 0; i < f.m; i++ {
+		if f.rowDone[i] {
+			continue
+		}
+		for t, c := range f.rowCol[i] {
+			if f.colDone[c] {
+				continue
+			}
+			if v := abs(f.rowVal[i][t]); v >= best {
+				best, pi, pj = v, i, int(c)
+			}
+		}
+	}
+	return pi, pj, pi >= 0
+}
+
+// colEntry returns the largest live magnitude in column j, and the value
+// at row want (when want >= 0).
+func (f *luFactor) colEntry(j, want int) (colMax, atWant float64) {
+	for _, ri := range f.colRows[j] {
+		i := int(ri)
+		if f.rowDone[i] {
+			continue
+		}
+		if v, found := f.rowEntry(i, j); found {
+			if abs(v) > colMax {
+				colMax = abs(v)
+			}
+			if i == want {
+				atWant = v
+			}
+		}
+	}
+	return colMax, atWant
+}
+
+// rowEntry returns row i's value in column j.
+func (f *luFactor) rowEntry(i, j int) (float64, bool) {
+	for t, c := range f.rowCol[i] {
+		if int(c) == j {
+			return f.rowVal[i][t], true
+		}
+	}
+	return 0, false
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,189 @@
+package lp
+
+// Sparse FTRAN/BTRAN over the LU factorization in factor.go.
+//
+// FTRAN solves B·x = b (constraint-row space → basis-slot space); BTRAN
+// solves Bᵀ·y = c (slot space → row space). Both run in O(m + nnz) — the
+// lower-triangular replay skips steps whose right-hand side is still zero,
+// so a hyper-sparse RHS (an entering column with three nonzeros, a unit
+// vector for a dual pivot row) touches only the entries it can reach, and
+// the results carry indexed nonzero lists so the ratio test, the basic-
+// value update and the eta append iterate nonzeros instead of dense
+// m-vectors.
+
+// ftranDense solves B·x = v in place: v enters indexed by constraint row,
+// leaves indexed by basis slot.
+func (f *luFactor) ftranDense(v []float64) {
+	f.ftranBase(v)
+	f.ftranEtas(v)
+}
+
+// ftranBase applies the base LU solve only (no etas).
+func (f *luFactor) ftranBase(v []float64) {
+	m := f.m
+	// Lower replay in elimination order: rows reduced during elimination
+	// get the same multiples of the pivot row subtracted. Only the steps
+	// with multipliers (lsteps) are visited, and a step whose pivot-row
+	// value is zero moves nothing — the hyper-sparse skip.
+	for _, k := range f.lsteps {
+		t := v[f.pr[k]]
+		if t == 0 {
+			continue
+		}
+		for e := f.lptr[k]; e < f.lptr[k+1]; e++ {
+			v[f.lrow[e]] -= f.lval[e] * t
+		}
+	}
+	// Back substitution on U, column-scatter form: once step c's value is
+	// known, subtract its contribution from every earlier row carrying
+	// column c. A step whose right-hand side is zero yields zero and
+	// scatters nothing — its whole U column is skipped.
+	tmp := f.tmp
+	for c := m - 1; c >= 0; c-- {
+		t := v[f.pr[c]]
+		if t == 0 {
+			tmp[c] = 0
+			continue
+		}
+		t /= f.upiv[c]
+		tmp[c] = t
+		for e := f.ucptr[c]; e < f.ucptr[c+1]; e++ {
+			v[f.pr[f.ucrow[e]]] -= f.ucval[e] * t
+		}
+	}
+	for k := 0; k < m; k++ {
+		v[f.pc[k]] = tmp[k]
+	}
+}
+
+// ftranEtas applies the product-form updates in append order. An update
+// whose pivot slot holds zero is a no-op and is skipped outright.
+func (f *luFactor) ftranEtas(v []float64) {
+	for t := 0; t < len(f.epos); t++ {
+		r := f.epos[t]
+		if v[r] == 0 {
+			continue
+		}
+		pv := v[r] / f.epiv[t]
+		v[r] = pv
+		for e := f.eptr[t]; e < f.eptr[t+1]; e++ {
+			v[f.eidx[e]] -= f.eval[e] * pv
+		}
+	}
+}
+
+// ftranSpike solves B·w = A_col for a sparse constraint column. w must be
+// zero on entry; the result is left in w with its nonzero slots appended
+// to ind (returned). The list is what keeps the downstream ratio test and
+// xB update O(nnz) instead of O(m).
+func (f *luFactor) ftranSpike(col []entry, w []float64, ind []int32) []int32 {
+	for _, e := range col {
+		w[e.row] += e.val
+	}
+	f.ftranDense(w)
+	ind = ind[:0]
+	for i := 0; i < f.m; i++ {
+		if w[i] != 0 {
+			ind = append(ind, int32(i))
+		}
+	}
+	return ind
+}
+
+// clearSpike rezeroes w using its nonzero list.
+func clearSpike(w []float64, ind []int32) {
+	for _, i := range ind {
+		w[i] = 0
+	}
+}
+
+// btranDense solves Bᵀ·y = v in place: v enters indexed by basis slot,
+// leaves indexed by constraint row.
+func (f *luFactor) btranDense(v []float64) {
+	f.btranEtas(v)
+	m := f.m
+	// Uᵀ forward solve, gather form: row k of Uᵀ is column k of U, already
+	// available as the ucptr/ucrow/ucval column form, and every entry it
+	// references (earlier steps) is solved by the time step k runs.
+	tmp := f.tmp
+	for k := 0; k < m; k++ {
+		t := v[f.pc[k]]
+		for e := f.ucptr[k]; e < f.ucptr[k+1]; e++ {
+			if x := tmp[f.ucrow[e]]; x != 0 {
+				t -= f.ucval[e] * x
+			}
+		}
+		tmp[k] = t / f.upiv[k]
+	}
+	for k := 0; k < m; k++ {
+		v[f.pr[k]] = tmp[k]
+	}
+	// Lᵀ replay in reverse elimination order: the pivot row of step k
+	// absorbs the multipliers times the rows they fed during elimination.
+	for s := len(f.lsteps) - 1; s >= 0; s-- {
+		k := f.lsteps[s]
+		acc := 0.0
+		for e := f.lptr[k]; e < f.lptr[k+1]; e++ {
+			acc += f.lval[e] * v[f.lrow[e]]
+		}
+		if acc != 0 {
+			v[f.pr[k]] -= acc
+		}
+	}
+}
+
+// btranEtas applies the transposed eta inverses in reverse append order
+// (only the pivot slot of each update changes).
+func (f *luFactor) btranEtas(v []float64) {
+	for t := len(f.epos) - 1; t >= 0; t-- {
+		dot := 0.0
+		for e := f.eptr[t]; e < f.eptr[t+1]; e++ {
+			dot += f.eval[e] * v[f.eidx[e]]
+		}
+		r := f.epos[t]
+		v[r] = (v[r] - dot) / f.epiv[t]
+	}
+}
+
+// btranUnit solves Bᵀ·ρ = e_slot into rho (zeroed here first), yielding
+// the constraint-row-space vector whose dot with a column gives that
+// column's entry in basis row `slot` — the dual simplex pivot row.
+func (f *luFactor) btranUnit(slot int, rho []float64) {
+	clear(rho)
+	rho[slot] = 1
+	f.btranDense(rho)
+}
+
+// appendEta records the pivot (entering spike w with nonzero list ind,
+// leaving slot r) as a product-form update. It returns false when the
+// spike's pivot entry is too small relative to its largest entry for the
+// update to be stable — the caller must then refactorize, recompute the
+// spike and retry. force bypasses the stability check; callers set it when
+// the factorization is already fresh, where refusing would loop (the ratio
+// test has bounded the pivot away from zero).
+func (f *luFactor) appendEta(w []float64, ind []int32, r int, force bool) bool {
+	piv := w[r]
+	if !force {
+		maxAbs := 0.0
+		for _, i := range ind {
+			if v := abs(w[i]); v > maxAbs {
+				maxAbs = v
+			}
+		}
+		if abs(piv) < etaPivotTol*maxAbs {
+			return false
+		}
+	}
+	for _, i := range ind {
+		if int(i) == r || w[i] == 0 {
+			continue
+		}
+		f.eidx = append(f.eidx, i)
+		f.eval = append(f.eval, w[i])
+	}
+	f.eptr = append(f.eptr, int32(len(f.eidx)))
+	f.epos = append(f.epos, int32(r))
+	f.epiv = append(f.epiv, piv)
+	f.stats.EtaNnz += int64(len(f.eidx)) - int64(f.eptr[len(f.eptr)-2])
+	return true
+}

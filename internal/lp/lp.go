@@ -1,15 +1,19 @@
-// Package lp implements a bounded-variable revised primal simplex solver
-// for linear programs in the form
+// Package lp implements a bounded-variable revised simplex solver for
+// linear programs in the form
 //
 //	minimize    cᵀx
 //	subject to  aᵢᵀx {≤,=,≥} bᵢ   for every row i
 //	            lo ≤ x ≤ hi       (bounds may be ±Inf)
 //
 // It is the LP engine underneath internal/milp, which together replace the
-// CPLEX solver of the DAC'17 paper. The implementation keeps a dense
-// explicit basis inverse with eta-style pivot updates and sparse constraint
-// columns, which is efficient at the window-MILP scale of the paper's
-// distributable optimization (hundreds of rows and columns).
+// CPLEX solver of the DAC'17 paper. The basis is kept as a sparse LU
+// factorization (Markowitz-ordered, with product-form eta updates and
+// periodic refactorization — factor.go) driving sparse FTRAN/BTRAN solves
+// (ftran.go), so each pivot costs O(nnz) on the overwhelmingly sparse
+// window-MILP constraint matrices instead of the O(rows²) a dense explicit
+// inverse pays. Pricing runs over a candidate list refreshed by periodic
+// full scans, so iterations stop scanning every column. Re-solves under
+// changed bounds warm start through the dual simplex (dual.go).
 package lp
 
 import (
@@ -49,23 +53,31 @@ const (
 	Infeasible
 	Unbounded
 	IterLimit
+
+	numStatus // sentinel: add new statuses above and name them below
 )
+
+// statusNames names every Status; statusTableTest asserts it stays
+// exhaustive so a new status cannot ship without a name.
+var statusNames = [numStatus]string{
+	Optimal:    "optimal",
+	Infeasible: "infeasible",
+	Unbounded:  "unbounded",
+	IterLimit:  "iteration-limit",
+}
 
 // String implements fmt.Stringer.
 func (s Status) String() string {
-	switch s {
-	case Optimal:
-		return "optimal"
-	case Infeasible:
-		return "infeasible"
-	case Unbounded:
-		return "unbounded"
-	case IterLimit:
-		return "iteration-limit"
-	default:
-		return fmt.Sprintf("Status(%d)", int(s))
+	if s >= 0 && s < numStatus {
+		return statusNames[s]
 	}
+	return fmt.Sprintf("Status(%d)", int(s))
 }
+
+// statusNumFail is an internal sentinel for numerical failure (a basis the
+// factorization cannot handle). It never escapes the package: solve maps
+// it to IterLimit after disabling the warm-start state.
+const statusNumFail Status = -1
 
 // Term is one coefficient of a constraint row.
 type Term struct {
@@ -191,8 +203,8 @@ func (m *Model) SolveWithHint(lo, hi, hint []float64) *Solution {
 // SolveWithScratch is SolveWithHint with an explicit scratch arena.
 // Passing the same Arena across repeated solves (branch-and-bound node
 // relaxations, per-worker window solves) reuses all large working storage
-// — most importantly the dense rows² basis inverse — and the model-keyed
-// column/norm caches. A nil arena allocates a private one.
+// — most importantly the basis LU factorization and its eta file — and the
+// model-keyed column/norm caches. A nil arena allocates a private one.
 func (m *Model) SolveWithScratch(lo, hi, hint []float64, a *Arena) *Solution {
 	if lo == nil {
 		lo = m.lo
@@ -248,10 +260,10 @@ type simplex struct {
 
 	state      []varState
 	xN         []float64 // value of each nonbasic variable (at a bound)
-	basis      []int     // basis[i] = variable basic in row i
-	inBasisRow []int     // inverse of basis: row of a basic var, or -1
-	binv       []float64 // dense nRows x nRows row-major basis inverse
-	xB         []float64 // values of basic variables by row
+	basis      []int     // basis[i] = variable basic in slot/row i
+	inBasisRow []int     // inverse of basis: slot of a basic var, or -1
+	lu         *luFactor // sparse LU of the basis + eta file
+	xB         []float64 // values of basic variables by slot
 
 	maxIters int
 
@@ -284,6 +296,7 @@ func newSimplex(m *Model, lo, hi []float64, a *Arena) *simplex {
 	s.hi = a.hi
 	copy(s.lo, lo)
 	copy(s.hi, hi)
+	s.lu = a.lu
 
 	// Slacks: row i gets slack n+i with bounds by sense.
 	for i := 0; i < rows; i++ {
@@ -337,11 +350,14 @@ func (s *simplex) solve() *Solution {
 	// Dual-simplex warm start from the previous solve's optimal basis (see
 	// dual.go); bound-change re-solves usually finish in a few pivots. The
 	// cold path below is the fallback and rebuilds all state from scratch.
-	if sol := s.warmSolve(); sol != nil {
-		return sol
+	sol := s.warmSolve()
+	if sol == nil {
+		s.arena.warm = false
+		sol = s.primalColdSolve()
 	}
-	s.arena.warm = false
-	return s.primalColdSolve()
+	s.lu.stats.Solves++
+	s.lu.flushGlobal()
+	return sol
 }
 
 func (s *simplex) primalColdSolve() *Solution {
@@ -353,8 +369,6 @@ func (s *simplex) primalColdSolve() *Solution {
 	for j := 0; j < s.nTotal; j++ {
 		s.inBasisRow[j] = -1
 	}
-	s.binv = s.arena.binv
-	clear(s.binv)
 	s.xB = s.arena.xB
 
 	// All structural and slack variables start nonbasic at a bound;
@@ -393,7 +407,6 @@ func (s *simplex) primalColdSolve() *Solution {
 	for i := 0; i < rows; i++ {
 		sj := n + i
 		aj := n + rows + i
-		s.binv[i*rows+i] = 1
 		if resid[i] >= s.lo[sj]-feasTol && resid[i] <= s.hi[sj]+feasTol {
 			s.basis[i] = sj
 			s.inBasisRow[sj] = i
@@ -417,10 +430,20 @@ func (s *simplex) primalColdSolve() *Solution {
 		needPhase1 = true
 	}
 
+	// The crash basis is all unit columns — its factorization is trivial
+	// and cannot fail.
+	s.lu.reset(rows)
+	if !s.lu.factorize(s.cols, s.basis[:rows]) {
+		return s.numFail(0)
+	}
+
 	totalIters := 0
 	if needPhase1 {
 		st, it := s.iterate(phase1Obj, true)
 		totalIters += it
+		if st == statusNumFail {
+			return s.numFail(totalIters)
+		}
 		if st == IterLimit {
 			return &Solution{Status: IterLimit, Iters: totalIters, X: s.extractX()}
 		}
@@ -441,6 +464,9 @@ func (s *simplex) primalColdSolve() *Solution {
 
 	st, it := s.iterate(s.objP2, false)
 	totalIters += it
+	if st == statusNumFail {
+		return s.numFail(totalIters)
+	}
 	x := s.extractX()
 	obj := 0.0
 	for j := 0; j < n; j++ {
@@ -453,7 +479,7 @@ func (s *simplex) primalColdSolve() *Solution {
 		return &Solution{Status: IterLimit, Obj: obj, X: x, Iters: totalIters}
 	default:
 		// The final basis is optimal, hence dual feasible for any bounds:
-		// keep it in the arena for dual-simplex warm starts.
+		// keep its factorization in the arena for dual-simplex warm starts.
 		s.arena.warm = true
 		s.arena.warmSolves = 0
 		return &Solution{Status: Optimal, Obj: obj, X: x, Iters: totalIters,
@@ -461,9 +487,19 @@ func (s *simplex) primalColdSolve() *Solution {
 	}
 }
 
+// numFail maps an unrecoverable numerical failure (a basis the
+// factorization rejects as singular) to IterLimit and poisons the
+// warm-start state so the next solve rebuilds from scratch. Branch-and-
+// bound treats IterLimit as "node unresolved", which is the conservative
+// and correct reading.
+func (s *simplex) numFail(iters int) *Solution {
+	s.arena.warm = false
+	return &Solution{Status: IterLimit, Iters: iters}
+}
+
 func (s *simplex) phase1Value(obj []float64) float64 {
 	v := 0.0
-	for i, j := range s.basis {
+	for i, j := range s.basis[:s.nRows] {
 		v += obj[j] * s.xB[i]
 	}
 	for j := 0; j < s.nTotal; j++ {
@@ -487,11 +523,162 @@ func (s *simplex) extractX() []float64 {
 	return x
 }
 
+// refactorize rebuilds the basis factorization from scratch and refreshes
+// the basic values from the bounds and RHS, washing out eta-file drift. It
+// reports false when the basis is numerically singular.
+func (s *simplex) refactorize() bool {
+	if !s.lu.factorize(s.cols, s.basis[:s.nRows]) {
+		return false
+	}
+	s.recomputeXB()
+	return true
+}
+
+// recomputeXB refreshes xB = B⁻¹(b − N·x_N) with one FTRAN.
+func (s *simplex) recomputeXB() {
+	resid := s.arena.resid
+	copy(resid, s.rhs)
+	for j := 0; j < s.nTotal; j++ {
+		if s.state[j] == basic || s.xN[j] == 0 {
+			continue
+		}
+		v := s.xN[j]
+		for _, e := range s.cols[j] {
+			resid[e.row] -= e.val * v
+		}
+	}
+	s.lu.ftranDense(resid)
+	copy(s.xB[:s.nRows], resid)
+}
+
+// priceColumn computes nonbasic column j's reduced cost under duals y and
+// its improving movement direction (0 when j cannot improve).
+func (s *simplex) priceColumn(j int, obj, y []float64) (d, dir float64) {
+	d = obj[j]
+	for _, e := range s.cols[j] {
+		d -= y[e.row] * e.val
+	}
+	switch {
+	case s.state[j] == atLower && d < -costTol:
+		dir = 1
+	case s.state[j] == atUpper && d > costTol:
+		dir = -1
+	case s.state[j] == atLower && math.IsInf(s.lo[j], -1) && d > costTol:
+		// Free variable parked at 0 can also decrease.
+		dir = -1
+	}
+	return d, dir
+}
+
+// priceSkip reports whether column j is excluded from pricing outright.
+func (s *simplex) priceSkip(j int) bool {
+	return s.state[j] == basic ||
+		(s.lo[j] == s.hi[j] && !math.IsInf(s.lo[j], 0))
+}
+
+// candListCap bounds the pricing candidate list. Minor iterations refresh
+// and choose among at most this many columns; a full scan only happens
+// when the list runs dry (and once more to prove optimality).
+const candListCap = 32
+
+// priceFull scans every column, returning the best entering candidate and
+// rebuilding the arena's candidate list with the top-scoring improvers.
+// (A sectional/rotating partial scan was tried here and lost: the worse
+// entering choices cost ~20% more pivots than the complete Dantzig pass
+// saves in scan time on window-MILP-sized models.)
+func (s *simplex) priceFull(obj, y, colNorm []float64) (enter int, enterDir, enterD float64) {
+	cand := s.arena.cand[:0]
+	scores := s.arena.candScore[:0]
+	enter = -1
+	best := 0.0
+	minAt := 0
+	for j := 0; j < s.nTotal; j++ {
+		if s.priceSkip(j) {
+			continue
+		}
+		d, dir := s.priceColumn(j, obj, y)
+		if dir == 0 {
+			continue
+		}
+		score := math.Abs(d) / colNorm[j]
+		if score > best {
+			best, enter, enterDir, enterD = score, j, dir, d
+		}
+		// Keep the top-scoring improvers, unordered: replace the current
+		// minimum once the list is full (priceMinor never relies on order).
+		if len(cand) < candListCap {
+			cand = append(cand, int32(j))
+			scores = append(scores, score)
+			if score < scores[minAt] {
+				minAt = len(cand) - 1
+			}
+		} else if score > scores[minAt] {
+			cand[minAt], scores[minAt] = int32(j), score
+			minAt = 0
+			for t := 1; t < len(scores); t++ {
+				if scores[t] < scores[minAt] {
+					minAt = t
+				}
+			}
+		}
+	}
+	s.arena.cand = cand
+	s.arena.candScore = scores
+	return enter, enterDir, enterD
+}
+
+// priceMinor re-prices only the candidate list under the current duals —
+// the stale-reduced-cost refresh — compacting out entries that went basic,
+// got fixed, or stopped improving, and returns the best survivor.
+func (s *simplex) priceMinor(obj, y, colNorm []float64) (enter int, enterDir, enterD float64) {
+	cand := s.arena.cand
+	scores := s.arena.candScore
+	enter = -1
+	best := 0.0
+	w := 0
+	for _, cj := range cand {
+		j := int(cj)
+		if s.priceSkip(j) {
+			continue
+		}
+		d, dir := s.priceColumn(j, obj, y)
+		if dir == 0 {
+			continue
+		}
+		score := math.Abs(d) / colNorm[j]
+		cand[w], scores[w] = cj, score
+		w++
+		if score > best {
+			best, enter, enterDir, enterD = score, j, dir, d
+		}
+	}
+	s.arena.cand = cand[:w]
+	s.arena.candScore = scores[:w]
+	return enter, enterDir, enterD
+}
+
+// priceBland returns the lowest-indexed improving column — the
+// anti-cycling fallback after a long degenerate run.
+func (s *simplex) priceBland(obj, y []float64) (enter int, enterDir, enterD float64) {
+	for j := 0; j < s.nTotal; j++ {
+		if s.priceSkip(j) {
+			continue
+		}
+		d, dir := s.priceColumn(j, obj, y)
+		if dir != 0 {
+			return j, dir, d
+		}
+	}
+	return -1, 0, 0
+}
+
 // iterate runs primal simplex with the given objective until optimality,
-// unboundedness or the iteration cap. When stopAtZero is set (phase 1),
-// iteration ends as soon as the objective reaches zero.
+// unboundedness, the iteration cap, or numerical failure (statusNumFail).
+// When stopAtZero is set (phase 1), iteration ends as soon as the
+// objective reaches zero.
 func (s *simplex) iterate(obj []float64, stopAtZero bool) (Status, int) {
 	rows := s.nRows
+	f := s.lu
 	y := s.arena.y
 	w := s.arena.w
 	iters := 0
@@ -515,13 +702,11 @@ func (s *simplex) iterate(obj []float64, stopAtZero bool) (Status, int) {
 	}
 	colNorm := s.arena.colNorm
 
-	// y = c_B^T·Binv is maintained incrementally: a pivot replaces one
-	// entry of c_B and applies one eta transform to Binv, which works out
-	// to y += d_enter · (new pivot row of Binv) — O(rows) instead of the
-	// O(rows²) full recomputation. The full product is refreshed
-	// periodically to wash out floating-point drift.
-	yDirty := true
-	const yRefresh = 64
+	// The duals y = Bᵀ⁻¹·c_B are refreshed by one sparse BTRAN after every
+	// basis change (bound flips leave them valid). The candidate list is
+	// invalid for this objective until the first full pricing pass.
+	yStale := true
+	s.arena.cand = s.arena.cand[:0]
 
 	for ; iters < s.maxIters; iters++ {
 		if s.arena.hasDL && iters&31 == 0 && time.Now().After(s.arena.deadline) {
@@ -538,92 +723,52 @@ func (s *simplex) iterate(obj []float64, stopAtZero bool) (Status, int) {
 				return Optimal, iters
 			}
 		}
-		if yDirty || iters%yRefresh == 0 {
-			// y = c_B^T * Binv
-			for i := 0; i < rows; i++ {
-				y[i] = 0
+		if f.needsRefactor() {
+			if !s.refactorize() {
+				return statusNumFail, iters
 			}
+			yStale = true
+		}
+		if yStale {
 			for i := 0; i < rows; i++ {
-				cb := obj[s.basis[i]]
-				if cb == 0 {
-					continue
-				}
-				row := s.binv[i*rows : (i+1)*rows]
-				for k := 0; k < rows; k++ {
-					y[k] += cb * row[k]
-				}
+				y[i] = obj[s.basis[i]]
 			}
-			yDirty = false
+			f.btranDense(y[:rows])
+			yStale = false
 		}
 
-		// Pricing: pick entering variable. Dantzig rule normally; Bland
-		// after a run of degenerate pivots to guarantee termination.
-		useBland := degenerate > 2*rows+20
-		enter := -1
-		var enterDir, enterD float64
-		best := -costTol
-		for j := 0; j < s.nTotal; j++ {
-			if s.state[j] == basic {
-				continue
-			}
-			if s.lo[j] == s.hi[j] && !math.IsInf(s.lo[j], 0) {
-				continue // fixed variable
-			}
-			d := obj[j]
-			for _, e := range s.cols[j] {
-				d -= y[e.row] * e.val
-			}
-			// Effective improving direction.
-			var dir float64
-			switch {
-			case s.state[j] == atLower && d < -costTol:
-				dir = 1
-			case s.state[j] == atUpper && d > costTol:
-				dir = -1
-			case s.state[j] == atLower && math.IsInf(s.lo[j], -1) && d > costTol:
-				// Free variable parked at 0 can also decrease.
-				dir = -1
-			default:
-				continue
-			}
-			score := -math.Abs(d) / colNorm[j]
-			if useBland {
-				enter = j
-				enterDir = dir
-				enterD = d
-				break
-			}
-			if score < best {
-				best = score
-				enter = j
-				enterDir = dir
-				enterD = d
+		// Pricing: candidate-list minor pass, falling back to a full scan
+		// when the list runs dry; Bland's rule after a degenerate run
+		// guarantees termination.
+		var enter int
+		var enterDir float64
+		if degenerate > 2*rows+20 {
+			enter, enterDir, _ = s.priceBland(obj, y)
+		} else {
+			enter, enterDir, _ = s.priceMinor(obj, y, colNorm)
+			if enter == -1 {
+				enter, enterDir, _ = s.priceFull(obj, y, colNorm)
 			}
 		}
 		if enter == -1 {
 			return Optimal, iters
 		}
 
-		// w = Binv * A_enter
-		for i := 0; i < rows; i++ {
-			w[i] = 0
-		}
-		for _, e := range s.cols[enter] {
-			v := e.val
-			for i := 0; i < rows; i++ {
-				w[i] += v * s.binv[i*rows+e.row]
-			}
-		}
+		// Spike w = B⁻¹·A_enter by sparse FTRAN; wInd lists its nonzero
+		// slots so the ratio test and updates below are O(nnz).
+		wInd := f.ftranSpike(s.cols[enter], w, s.arena.wInd)
+		s.arena.wInd = wInd
 
 		// Ratio test: entering moves by t ≥ 0 in direction enterDir;
 		// basic i changes by -enterDir * t * w[i].
 		tMax := math.Inf(1)
-		leave := -1 // row index leaving, or -1 for bound flip
+		leave := -1 // slot leaving, or -1 for bound flip
 		leaveToUpper := false
 		if !math.IsInf(s.lo[enter], -1) && !math.IsInf(s.hi[enter], 1) {
 			tMax = s.hi[enter] - s.lo[enter]
 		}
-		for i := 0; i < rows; i++ {
+		for _, wi := range wInd {
+			i := int(wi)
 			if math.Abs(w[i]) < pivotTol {
 				continue
 			}
@@ -654,6 +799,7 @@ func (s *simplex) iterate(obj []float64, stopAtZero bool) (Status, int) {
 		}
 
 		if math.IsInf(tMax, 1) {
+			clearSpike(w, wInd)
 			return Unbounded, iters
 		}
 		if tMax < feasTol {
@@ -662,24 +808,40 @@ func (s *simplex) iterate(obj []float64, stopAtZero bool) (Status, int) {
 			degenerate = 0
 		}
 
-		// Apply the step.
-		enterVal := s.xN[enter] + enterDir*tMax
-		for i := 0; i < rows; i++ {
-			s.xB[i] -= enterDir * tMax * w[i]
-		}
-
 		if leave == -1 {
-			// Bound flip: entering moves bound-to-bound, basis unchanged.
-			s.xN[enter] = enterVal
+			// Bound flip: entering moves bound-to-bound, basis unchanged
+			// (and the duals stay valid).
+			for _, wi := range wInd {
+				s.xB[wi] -= enterDir * tMax * w[wi]
+			}
+			s.xN[enter] += enterDir * tMax
 			if enterDir > 0 {
 				s.state[enter] = atUpper
 			} else {
 				s.state[enter] = atLower
 			}
+			clearSpike(w, wInd)
 			continue
 		}
 
-		// Pivot: basis[leave] exits to a bound, enter becomes basic.
+		// Record the pivot in the eta file before committing the basis
+		// change; an unstable update refactorizes and re-prices instead
+		// (forced through when the factorization is already fresh — the
+		// ratio test bounded the pivot away from zero).
+		if !f.appendEta(w, wInd, leave, f.nEtas() == 0) {
+			clearSpike(w, wInd)
+			if !s.refactorize() {
+				return statusNumFail, iters
+			}
+			yStale = true
+			continue
+		}
+
+		// Commit the step and the basis exchange.
+		enterVal := s.xN[enter] + enterDir*tMax
+		for _, wi := range wInd {
+			s.xB[wi] -= enterDir * tMax * w[wi]
+		}
 		out := s.basis[leave]
 		s.inBasisRow[out] = -1
 		if leaveToUpper {
@@ -693,38 +855,9 @@ func (s *simplex) iterate(obj []float64, stopAtZero bool) (Status, int) {
 		s.inBasisRow[enter] = leave
 		s.state[enter] = basic
 		s.xB[leave] = enterVal
-
-		// Eta update of Binv: divide pivot row by w[leave], eliminate
-		// elsewhere.
-		piv := w[leave]
-		prow := s.binv[leave*rows : (leave+1)*rows]
-		inv := 1 / piv
-		for k := 0; k < rows; k++ {
-			prow[k] *= inv
-		}
-		for i := 0; i < rows; i++ {
-			if i == leave {
-				continue
-			}
-			f := w[i]
-			if f == 0 {
-				continue
-			}
-			row := s.binv[i*rows : (i+1)*rows]
-			for k := 0; k < rows; k++ {
-				row[k] -= f * prow[k]
-			}
-		}
-
-		// Incremental dual update: with c_B's leave entry swapped to the
-		// entering column's cost, y' = c_B'·Binv' = y + d_enter·(Binv'
-		// pivot row), where d_enter is the entering reduced cost computed
-		// during pricing.
-		if enterD != 0 {
-			for k := 0; k < rows; k++ {
-				y[k] += enterD * prow[k]
-			}
-		}
+		clearSpike(w, wInd)
+		f.stats.Pivots++
+		yStale = true
 	}
 	return IterLimit, iters
 }

@@ -1,0 +1,41 @@
+package lp
+
+import "testing"
+
+// TestStatusNamesExhaustive pins the status table: every Status below the
+// numStatus sentinel must have a distinct, nonempty name. Adding a status
+// without extending statusNames leaves a "" hole that fails here (the
+// array's fixed size already fails compilation for out-of-range keys).
+func TestStatusNamesExhaustive(t *testing.T) {
+	seen := make(map[string]Status, numStatus)
+	for s := Status(0); s < numStatus; s++ {
+		name := s.String()
+		if name == "" {
+			t.Errorf("Status(%d) has no name in statusNames", int(s))
+			continue
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("Status(%d) and Status(%d) share the name %q", int(prev), int(s), name)
+		}
+		seen[name] = s
+	}
+}
+
+// TestStatusNamesOutOfRange checks the fallback formatting, including the
+// internal numerical-failure sentinel (which must never leak a real name).
+func TestStatusNamesOutOfRange(t *testing.T) {
+	for _, s := range []Status{numStatus, Status(99), Status(-7), statusNumFail} {
+		if got := s.String(); got == "" || seenInTable(got) {
+			t.Errorf("Status(%d).String() = %q; want an out-of-range marker", int(s), got)
+		}
+	}
+}
+
+func seenInTable(name string) bool {
+	for _, n := range statusNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

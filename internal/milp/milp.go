@@ -35,22 +35,28 @@ const (
 	Infeasible
 	// Limit: a budget was exhausted before any integer solution was found.
 	Limit
+
+	// numStatus is a sentinel for the names table below: add new statuses
+	// above it and name them in statusNames, or the exhaustiveness test
+	// fails the build's test run.
+	numStatus
 )
+
+// statusNames is indexed by Status; the fixed size ties it to numStatus so
+// a new status cannot ship without a name.
+var statusNames = [numStatus]string{
+	Optimal:    "optimal",
+	Feasible:   "feasible",
+	Infeasible: "infeasible",
+	Limit:      "limit",
+}
 
 // String implements fmt.Stringer.
 func (s Status) String() string {
-	switch s {
-	case Optimal:
-		return "optimal"
-	case Feasible:
-		return "feasible"
-	case Infeasible:
-		return "infeasible"
-	case Limit:
-		return "limit"
-	default:
+	if s < 0 || s >= numStatus {
 		return "unknown"
 	}
+	return statusNames[s]
 }
 
 // Model is a MILP: an LP plus integrality requirements.
@@ -132,7 +138,55 @@ type solver struct {
 	aborted   bool
 
 	scratch *lp.Arena
+
+	// Free lists for per-node scratch. Every branch node used to copy the
+	// parent's lo/hi (up to four fresh slices per node) plus a sort buffer
+	// and a membership map; pooling them makes node overhead allocation-free
+	// after the first few levels. Ownership rule: whoever takes a slice
+	// from the pool returns it after its last use (children only read the
+	// slices passed to them).
+	boundPool [][]float64
+	intPool   [][]int
 }
+
+// getBounds returns a pooled copy of src.
+func (s *solver) getBounds(src []float64) []float64 {
+	n := len(s.boundPool)
+	if n == 0 {
+		return append([]float64(nil), src...)
+	}
+	b := s.boundPool[n-1]
+	s.boundPool = s.boundPool[:n-1]
+	if cap(b) < len(src) {
+		return append(b[:0], src...)
+	}
+	b = b[:len(src)]
+	copy(b, src)
+	return b
+}
+
+// putBounds returns slices taken with getBounds to the pool (nils are
+// ignored, so conditionally-taken copies release unconditionally).
+func (s *solver) putBounds(bs ...[]float64) {
+	for _, b := range bs {
+		if b != nil {
+			s.boundPool = append(s.boundPool, b)
+		}
+	}
+}
+
+// getInts returns a pooled empty int slice with at least the given capacity.
+func (s *solver) getInts(capHint int) []int {
+	n := len(s.intPool)
+	if n == 0 {
+		return make([]int, 0, capHint)
+	}
+	b := s.intPool[n-1]
+	s.intPool = s.intPool[:n-1]
+	return b[:0]
+}
+
+func (s *solver) putInts(b []int) { s.intPool = append(s.intPool, b) }
 
 // Solve runs branch and bound.
 func Solve(m *Model, p Params) Result {
@@ -245,12 +299,12 @@ func (s *solver) branch(lo, hi, hint []float64, root bool) float64 {
 			d := sol.RedCost[j]
 			if d > gap && sol.X[j] <= lo[j]+intTol {
 				if hi2 == nil {
-					hi2 = append([]float64(nil), hi...)
+					hi2 = s.getBounds(hi)
 				}
 				hi2[j] = lo[j]
 			} else if -d > gap && sol.X[j] >= hi[j]-intTol {
 				if lo2 == nil {
-					lo2 = append([]float64(nil), lo...)
+					lo2 = s.getBounds(lo)
 				}
 				lo2[j] = hi[j]
 			}
@@ -261,6 +315,7 @@ func (s *solver) branch(lo, hi, hint []float64, root bool) float64 {
 		if hi2 != nil {
 			hi = hi2
 		}
+		defer s.putBounds(lo2, hi2)
 	}
 
 	fracVar := s.mostFractional(sol.X)
@@ -315,19 +370,21 @@ func (s *solver) mostFractional(x []float64) int {
 func (s *solver) branchVar(lo, hi []float64, j int, x []float64) (float64, float64) {
 	fl := math.Floor(x[j])
 
-	hi2 := append([]float64(nil), hi...)
+	hi2 := s.getBounds(hi)
 	hi2[j] = fl
 	var bDown float64 = math.Inf(1)
 	if lo[j] <= fl {
 		bDown = s.branch(lo, hi2, x, false)
 	}
+	s.putBounds(hi2)
 
-	lo2 := append([]float64(nil), lo...)
+	lo2 := s.getBounds(lo)
 	lo2[j] = fl + 1
 	var bUp float64 = math.Inf(1)
 	if hi[j] >= fl+1 {
 		bUp = s.branch(lo2, hi, x, false)
 	}
+	s.putBounds(lo2)
 	return bDown, bUp
 }
 
@@ -337,8 +394,8 @@ func (s *solver) branchVar(lo, hi []float64, j int, x []float64) (float64, float
 func (s *solver) branchGroup(lo, hi []float64, gi int, x []float64) (float64, float64) {
 	g := s.m.Groups[gi]
 	// Active members sorted by LP value descending (selection sort on a
-	// copy; groups are small).
-	active := make([]int, 0, len(g))
+	// pooled buffer; groups are small).
+	active := s.getInts(len(g))
 	for _, j := range g {
 		if hi[j] > 0.5 {
 			active = append(active, j)
@@ -352,7 +409,8 @@ func (s *solver) branchGroup(lo, hi []float64, gi int, x []float64) (float64, fl
 		}
 	}
 	// S takes members greedily until it holds at least half the LP mass,
-	// which balances the children.
+	// which balances the children. After the sort S is exactly
+	// active[:cut], so membership is positional — no set needed.
 	var mass, total float64
 	for _, j := range active {
 		total += x[j]
@@ -365,25 +423,23 @@ func (s *solver) branchGroup(lo, hi []float64, gi int, x []float64) (float64, fl
 			break
 		}
 	}
-	inS := make(map[int]bool, cut)
-	for i := 0; i < cut; i++ {
-		inS[active[i]] = true
-	}
 
 	// Child A: winner inside S (zero the complement).
-	hiA := append([]float64(nil), hi...)
-	for _, j := range active {
-		if !inS[j] {
-			hiA[j] = 0
-		}
+	hiA := s.getBounds(hi)
+	for _, j := range active[cut:] {
+		hiA[j] = 0
 	}
 	bA := s.branch(lo, hiA, x, false)
 
-	// Child B: winner outside S (zero S).
-	hiB := append([]float64(nil), hi...)
-	for i := 0; i < cut; i++ {
-		hiB[active[i]] = 0
+	// Child B: winner outside S (zero S). hiA is dead, so recycle it as the
+	// child-B bounds.
+	hiB := hiA
+	copy(hiB, hi)
+	for _, j := range active[:cut] {
+		hiB[j] = 0
 	}
 	bB := s.branch(lo, hiB, x, false)
+	s.putBounds(hiB)
+	s.putInts(active)
 	return bA, bB
 }

@@ -1,0 +1,22 @@
+package milp
+
+import "testing"
+
+// TestStatusNamesExhaustive pins the status table: every Status below the
+// numStatus sentinel must have a distinct, nonempty name, so a new status
+// cannot ship without one (out-of-range keys already fail compilation via
+// the array's fixed size).
+func TestStatusNamesExhaustive(t *testing.T) {
+	seen := make(map[string]Status, numStatus)
+	for s := Status(0); s < numStatus; s++ {
+		name := s.String()
+		if name == "" || name == "unknown" {
+			t.Errorf("Status(%d) has no name in statusNames (got %q)", int(s), name)
+			continue
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("Status(%d) and Status(%d) share the name %q", int(prev), int(s), name)
+		}
+		seen[name] = s
+	}
+}
