@@ -3,12 +3,24 @@
 
 GO ?= go
 
-.PHONY: check vet test race bench-smoke bench-json bench-core bench-route
+.PHONY: check vet panic-guard test race bench-smoke bench-json bench-core bench-route
 
-check: vet test race bench-smoke
+check: vet panic-guard test race bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Library code must return errors, not crash the process: the only panics
+# allowed under internal/ are Must* wrappers and unreachable-invariant
+# checks, both tagged with a `// panic-ok:` marker, and os.Exit belongs to
+# the cmd/ edges. Anything else fails the gate.
+panic-guard:
+	@bad=$$(grep -rn --include='*.go' --exclude='*_test.go' -E 'panic\(|os\.Exit' internal/ | grep -v 'panic-ok' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "panic-guard: untagged panic/os.Exit in library code:"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
 
 test:
 	$(GO) build ./... && $(GO) test ./...

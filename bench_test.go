@@ -38,7 +38,10 @@ func benchCfg(b *testing.B) expt.SuiteConfig {
 func BenchmarkFig5WindowSweep(b *testing.B) {
 	cfg := benchCfg(b)
 	for i := 0; i < b.N; i++ {
-		pts := expt.RunFig5(cfg, []float64{10, 20, 40}, [][2]int{{4, 1}})
+		pts, err := expt.RunFig5(cfg, []float64{10, 20, 40}, [][2]int{{4, 1}})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(pts) != 3 {
 			b.Fatal("wrong point count")
 		}
@@ -49,7 +52,10 @@ func BenchmarkFig5WindowSweep(b *testing.B) {
 func BenchmarkFig6AlphaSweep(b *testing.B) {
 	cfg := benchCfg(b)
 	for i := 0; i < b.N; i++ {
-		pts := expt.RunFig6(cfg, tech.ClosedM1, []float64{0, 1200, 6000})
+		pts, err := expt.RunFig6(cfg, tech.ClosedM1, []float64{0, 1200, 6000})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if pts[2].DM1 < pts[0].DM1 {
 			b.Fatalf("alpha sweep shape broken: %+v", pts)
 		}
@@ -61,7 +67,10 @@ func BenchmarkFig7Sequences(b *testing.B) {
 	cfg := benchCfg(b)
 	seqs := []expt.SequenceSpec{expt.PaperSequences[0], expt.PaperSequences[3]}
 	for i := 0; i < b.N; i++ {
-		pts := expt.RunFig7(cfg, seqs)
+		pts, err := expt.RunFig7(cfg, seqs)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(pts) != 2 {
 			b.Fatal("wrong point count")
 		}
@@ -72,7 +81,10 @@ func BenchmarkFig7Sequences(b *testing.B) {
 func BenchmarkTable2ClosedM1(b *testing.B) {
 	cfg := benchCfg(b)
 	for i := 0; i < b.N; i++ {
-		rows := expt.RunTable2(cfg, tech.ClosedM1)
+		rows, err := expt.RunTable2(cfg, tech.ClosedM1)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(rows) != 4 {
 			b.Fatal("wrong row count")
 		}
@@ -83,7 +95,10 @@ func BenchmarkTable2ClosedM1(b *testing.B) {
 func BenchmarkTable2OpenM1(b *testing.B) {
 	cfg := benchCfg(b)
 	for i := 0; i < b.N; i++ {
-		rows := expt.RunTable2(cfg, tech.OpenM1)
+		rows, err := expt.RunTable2(cfg, tech.OpenM1)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(rows) != 4 {
 			b.Fatal("wrong row count")
 		}
@@ -94,7 +109,10 @@ func BenchmarkTable2OpenM1(b *testing.B) {
 func BenchmarkFig8DRVSweep(b *testing.B) {
 	cfg := benchCfg(b)
 	for i := 0; i < b.N; i++ {
-		pts := expt.RunFig8(cfg, []float64{0.75, 0.84})
+		pts, err := expt.RunFig8(cfg, []float64{0.75, 0.84})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(pts) != 2 {
 			b.Fatal("wrong point count")
 		}
@@ -106,7 +124,9 @@ func BenchmarkFig8DRVSweep(b *testing.B) {
 func BenchmarkAblationJointFlip(b *testing.B) {
 	cfg := benchCfg(b)
 	for i := 0; i < b.N; i++ {
-		_ = expt.RunAblationJointFlip(cfg)
+		if _, err := expt.RunAblationJointFlip(cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -115,9 +135,9 @@ func BenchmarkAblationJointFlip(b *testing.B) {
 func placedDesign(b *testing.B, arch tech.Arch, n int) *layout.Placement {
 	b.Helper()
 	t := tech.Default()
-	lib := cells.NewLibrary(t, arch)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("bench", n, 5))
-	p := layout.NewFloorplan(t, d, 0.75)
+	lib := cells.MustNewLibrary(t, arch)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("bench", n, 5))
+	p := layout.MustNewFloorplan(t, d, 0.75)
 	if err := place.Global(p, place.Options{}); err != nil {
 		b.Fatal(err)
 	}
@@ -127,11 +147,11 @@ func placedDesign(b *testing.B, arch tech.Arch, n int) *layout.Placement {
 // BenchmarkGlobalPlace measures the global placer + legalizer.
 func BenchmarkGlobalPlace(b *testing.B) {
 	t := tech.Default()
-	lib := cells.NewLibrary(t, tech.ClosedM1)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("bench", 2000, 5))
+	lib := cells.MustNewLibrary(t, tech.ClosedM1)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("bench", 2000, 5))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := layout.NewFloorplan(t, d, 0.75)
+		p := layout.MustNewFloorplan(t, d, 0.75)
 		if err := place.Global(p, place.Options{}); err != nil {
 			b.Fatal(err)
 		}
@@ -356,9 +376,9 @@ func TestEmitBenchRouteJSON(t *testing.T) {
 
 	// The speedup claim is only meaningful if the engines agree exactly.
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("bench", 2000, 5))
-	p := layout.NewFloorplan(tc, d, 0.75)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("bench", 2000, 5))
+	p := layout.MustNewFloorplan(tc, d, 0.75)
 	if err := place.Global(p, place.Options{}); err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "exptables:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	all := flag.Bool("all", false, "run everything")
 	fig5 := flag.Bool("fig5", false, "ExptA-1: window/perturbation scalability")
 	fig6 := flag.Bool("fig6", false, "ExptA-2: alpha sensitivity")
@@ -39,7 +46,10 @@ func main() {
 	if *all || *fig5 {
 		any = true
 		fmt.Println("== ExptA-1 (Figure 5) ==")
-		pts := expt.RunFig5(cfg, nil, nil)
+		pts, err := expt.RunFig5(cfg, nil, nil)
+		if err != nil {
+			return err
+		}
 		expt.WriteFig5(os.Stdout, pts)
 		fmt.Println()
 	}
@@ -50,14 +60,20 @@ func main() {
 			arch = tech.OpenM1
 		}
 		fmt.Println("== ExptA-2 (Figure 6) ==")
-		pts := expt.RunFig6(cfg, arch, nil)
+		pts, err := expt.RunFig6(cfg, arch, nil)
+		if err != nil {
+			return err
+		}
 		expt.WriteFig6(os.Stdout, arch, pts)
 		fmt.Println()
 	}
 	if *all || *fig7 {
 		any = true
 		fmt.Println("== ExptA-3 (Figure 7) ==")
-		pts := expt.RunFig7(cfg, nil)
+		pts, err := expt.RunFig7(cfg, nil)
+		if err != nil {
+			return err
+		}
 		expt.WriteFig7(os.Stdout, pts)
 		fmt.Println()
 	}
@@ -65,7 +81,10 @@ func main() {
 		any = true
 		fmt.Println("== ExptB (Table 2) ==")
 		for _, arch := range []tech.Arch{tech.ClosedM1, tech.OpenM1} {
-			rows := expt.RunTable2(cfg, arch)
+			rows, err := expt.RunTable2(cfg, arch)
+			if err != nil {
+				return err
+			}
 			expt.WriteTable2(os.Stdout, arch, rows)
 		}
 		fmt.Println()
@@ -73,14 +92,20 @@ func main() {
 	if *all || *fig8 {
 		any = true
 		fmt.Println("== Congestion study (Figure 8) ==")
-		pts := expt.RunFig8(cfg, nil)
+		pts, err := expt.RunFig8(cfg, nil)
+		if err != nil {
+			return err
+		}
 		expt.WriteFig8(os.Stdout, pts)
 		fmt.Println()
 	}
 	if *all || *ablate {
 		any = true
 		fmt.Println("== Ablation: sequential vs joint move+flip ==")
-		r := expt.RunAblationJointFlip(cfg)
+		r, err := expt.RunAblationJointFlip(cfg)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("%s: sequential RWL %.1f um / dM1 %d / %.1fs ; joint RWL %.1f um / dM1 %d / %.1fs\n",
 			r.Name,
 			float64(r.BaseRWL)/1000, r.BaseDM1, r.BaseSec,
@@ -93,4 +118,5 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("total %s (scale %.2f)\n", time.Since(start).Round(time.Second), *scale)
+	return nil
 }

@@ -22,6 +22,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gendesign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	name := flag.String("name", "design", "design name")
 	n := flag.Int("n", 5000, "instance count")
 	seed := flag.Int64("seed", 1, "generator seed")
@@ -33,14 +40,23 @@ func main() {
 
 	arch, err := parseArch(*archStr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	t := tech.Default()
-	lib := cells.NewLibrary(t, arch)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig(*name, *n, *seed))
-	p := layout.NewFloorplan(t, d, *util)
+	lib, err := cells.NewLibrary(t, arch)
+	if err != nil {
+		return err
+	}
+	d, err := netlist.Generate(lib, netlist.DefaultGenConfig(*name, *n, *seed))
+	if err != nil {
+		return err
+	}
+	p, err := layout.NewFloorplan(t, d, *util)
+	if err != nil {
+		return err
+	}
 	if err := place.Global(p, place.Options{}); err != nil {
-		fatal(err)
+		return err
 	}
 	st := d.Stats()
 	fmt.Printf("%s: %d insts (%d FFs), %d nets, %d ports, die %d sites x %d rows, HPWL %.1f um\n",
@@ -49,16 +65,17 @@ func main() {
 
 	if *lefPath != "" {
 		if err := writeTo(*lefPath, func(f *os.File) error { return lefdef.WriteLEF(f, lib) }); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println("wrote", *lefPath)
 	}
 	if *defPath != "" {
 		if err := writeTo(*defPath, func(f *os.File) error { return lefdef.WriteDEF(f, p) }); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println("wrote", *defPath)
 	}
+	return nil
 }
 
 func parseArch(s string) (tech.Arch, error) {
@@ -80,9 +97,4 @@ func writeTo(path string, f func(*os.File) error) error {
 	}
 	defer file.Close()
 	return f(file)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gendesign:", err)
-	os.Exit(1)
 }

@@ -2,6 +2,11 @@
 // on one design: generate (or load) → place → route → VM1Opt → reroute,
 // printing the before/after metric row of Table 2.
 //
+// The flow runs under a signal-aware context: Ctrl-C (SIGINT/SIGTERM)
+// cancels it gracefully — the optimizer stops at the next window-family
+// boundary, the router at the next batch commit — and the partial metrics
+// accumulated so far are printed before exiting nonzero.
+//
 // Usage (synthetic design):
 //
 //	vm1opt -design aes -arch closedm1 -alpha 1200
@@ -13,11 +18,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"vm1place/internal/core"
 	"vm1place/internal/expt"
@@ -29,6 +38,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vm1opt:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	design := flag.String("design", "aes", "paper design name: m0|aes|jpeg|vga")
 	n := flag.Int("n", 0, "override instance count (0: paper count)")
 	scale := flag.Float64("scale", 1.0, "scale factor on the paper instance count")
@@ -42,6 +58,9 @@ func main() {
 	outPath := flag.String("out", "", "write optimized DEF to this path")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	arch := tech.ClosedM1
 	if *archStr == "openm1" {
 		arch = tech.OpenM1
@@ -52,7 +71,7 @@ func main() {
 		var err error
 		seq, err = parseSeq(*seqStr)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
@@ -69,18 +88,29 @@ func main() {
 
 	if *lefPath != "" || *defPath != "" {
 		if *lefPath == "" || *defPath == "" {
-			fatal(fmt.Errorf("-lef and -def must be given together"))
+			return fmt.Errorf("-lef and -def must be given together")
 		}
-		runOnDEF(*lefPath, *defPath, *outPath, cfg)
-		return
+		return runOnDEF(ctx, *lefPath, *defPath, *outPath, cfg)
 	}
 
-	spec := specFor(*design, *n, *scale)
-	r := expt.RunFlow(spec, cfg)
+	spec, err := specFor(*design, *n, *scale)
+	if err != nil {
+		return err
+	}
+	r, err := expt.RunFlowCtx(ctx, spec, cfg)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// Graceful Ctrl-C: report what completed before the signal.
+			fmt.Fprintln(os.Stderr, "vm1opt: interrupted; partial metrics follow")
+			expt.WriteTable2Row(os.Stdout, r)
+		}
+		return err
+	}
 	expt.WriteTable2Row(os.Stdout, r)
+	return nil
 }
 
-func specFor(name string, n int, scale float64) expt.DesignSpec {
+func specFor(name string, n int, scale float64) (expt.DesignSpec, error) {
 	for _, d := range expt.PaperDesigns {
 		if d.Name == name {
 			if n > 0 {
@@ -91,33 +121,32 @@ func specFor(name string, n int, scale float64) expt.DesignSpec {
 					d.NumInsts = 200
 				}
 			}
-			return d
+			return d, nil
 		}
 	}
-	fatal(fmt.Errorf("unknown design %q", name))
-	panic("unreachable")
+	return expt.DesignSpec{}, fmt.Errorf("unknown design %q", name)
 }
 
 // runOnDEF optimizes an externally supplied placement.
-func runOnDEF(lefPath, defPath, outPath string, cfg expt.FlowConfig) {
+func runOnDEF(ctx context.Context, lefPath, defPath, outPath string, cfg expt.FlowConfig) error {
 	t := tech.Default()
 	lf, err := os.Open(lefPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	lib, err := lefdef.ParseLEF(lf, t)
 	lf.Close()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	df, err := os.Open(defPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	p, err := lefdef.ParseDEF(df, t, lib)
 	df.Close()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	prm := core.DefaultParams(t, cfg.Arch)
@@ -132,26 +161,45 @@ func runOnDEF(lefPath, defPath, outPath string, cfg expt.FlowConfig) {
 		seq = expt.DefaultSequence()
 	}
 
-	before := measure(p, cfg.Arch)
-	res := core.VM1Opt(p, prm, seq)
-	after := measure(p, cfg.Arch)
+	before, err := measure(ctx, p, cfg.Arch)
+	if err != nil {
+		return err
+	}
+	res, optErr := core.VM1OptCtx(ctx, p, prm, seq)
+	// After an interrupt the flow ctx is dead, but the placement is legal;
+	// measure the partial result under a fresh context so the user still
+	// sees what the truncated optimization achieved.
+	afterCtx := ctx
+	if optErr != nil {
+		afterCtx = context.Background()
+	}
+	after, err := measure(afterCtx, p, cfg.Arch)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%s: dM1 %d -> %d, RWL %.1f -> %.1f um, HPWL %.1f -> %.1f um, WNS %.3f -> %.3f, opt %.1fs\n",
 		p.Design.Name, before.dm1, after.dm1,
 		float64(before.rwl)/1000, float64(after.rwl)/1000,
 		float64(before.hpwl)/1000, float64(after.hpwl)/1000,
 		before.wns, after.wns, res.Duration.Seconds())
+	if optErr != nil {
+		// The interrupted placement is still legal; the numbers above
+		// reflect the partial optimization.
+		return optErr
+	}
 
 	if outPath != "" {
 		f, err := os.Create(outPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := lefdef.WriteDEF(f, p); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println("wrote", outPath)
 	}
+	return nil
 }
 
 type quickMetrics struct {
@@ -161,11 +209,14 @@ type quickMetrics struct {
 	wns  float64
 }
 
-func measure(p *layout.Placement, arch tech.Arch) quickMetrics {
+func measure(ctx context.Context, p *layout.Placement, arch tech.Arch) (quickMetrics, error) {
 	r := route.New(p, route.DefaultConfig(p.Tech, arch))
-	m := r.RouteAll()
+	m, err := r.RouteAllCtx(ctx)
+	if err != nil {
+		return quickMetrics{}, err
+	}
 	rep := sta.Analyze(p, sta.DefaultConfig(), nil)
-	return quickMetrics{dm1: m.DM1, rwl: m.RWL, hpwl: p.TotalHPWL(), wns: rep.WNS}
+	return quickMetrics{dm1: m.DM1, rwl: m.RWL, hpwl: p.TotalHPWL(), wns: rep.WNS}, nil
 }
 
 // parseSeq parses "20:4:1,10:3:0" into a core.Sequence.
@@ -187,9 +238,4 @@ func parseSeq(s string) (core.Sequence, error) {
 		})
 	}
 	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vm1opt:", err)
-	os.Exit(1)
 }

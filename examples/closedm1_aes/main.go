@@ -28,12 +28,16 @@ func main() {
 	fmt.Printf("running aes/ClosedM1 with %d instances, alpha=%.0f ...\n",
 		spec.NumInsts, *alpha)
 
-	r := expt.RunFlow(spec, expt.FlowConfig{
+	r, err := expt.RunFlow(spec, expt.FlowConfig{
 		Arch:     tech.ClosedM1,
 		Alpha:    *alpha,
 		AlphaSet: true,
 		Workers:  *workers,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "closedm1_aes:", err)
+		os.Exit(1)
+	}
 
 	expt.WriteTable2Row(os.Stdout, r)
 	fmt.Printf("\noptimizer detail: alignments %d -> %d, objective %.0f -> %.0f\n",

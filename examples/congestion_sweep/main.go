@@ -38,7 +38,11 @@ func main() {
 
 	cfg := expt.SuiteConfig{Scale: *scale, Workers: *workers}
 	fmt.Printf("sweeping utilization on aes/ClosedM1 at scale %.2f ...\n\n", *scale)
-	pts := expt.RunFig8(cfg, utils)
+	pts, err := expt.RunFig8(cfg, utils)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "congestion_sweep:", err)
+		os.Exit(1)
+	}
 	expt.WriteFig8(os.Stdout, pts)
 
 	saved := 0

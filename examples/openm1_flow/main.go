@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"vm1place/internal/cells"
 	"vm1place/internal/core"
@@ -23,8 +24,18 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "openm1_flow:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	t := tech.Default()
-	lib := cells.NewLibrary(t, tech.OpenM1)
+	lib, err := cells.NewLibrary(t, tech.OpenM1)
+	if err != nil {
+		return err
+	}
 
 	// Show the raw geometry the OpenM1 MILP reasons about.
 	inv := lib.MustMaster("INV_X1")
@@ -34,10 +45,16 @@ func main() {
 		cells.XExtent(inv, t, a, false), cells.XExtent(inv, t, zn, false), t.Delta)
 
 	// Full flow on a small OpenM1 design.
-	design := netlist.Generate(lib, netlist.DefaultGenConfig("openm1", 1200, 11))
-	p := layout.NewFloorplan(t, design, 0.75)
+	design, err := netlist.Generate(lib, netlist.DefaultGenConfig("openm1", 1200, 11))
+	if err != nil {
+		return err
+	}
+	p, err := layout.NewFloorplan(t, design, 0.75)
+	if err != nil {
+		return err
+	}
 	if err := place.Global(p, place.Options{}); err != nil {
-		panic(err)
+		return err
 	}
 
 	router := route.New(p, route.DefaultConfig(t, tech.OpenM1))
@@ -61,4 +78,5 @@ func main() {
 	fmt.Println("Note (paper §5.2): OpenM1 gains are structurally smaller than")
 	fmt.Println("ClosedM1 — dM1 blocks M1 pin access for other nets, so the")
 	fmt.Println("router monetizes fewer of the overlaps the placer creates.")
+	return nil
 }

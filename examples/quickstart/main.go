@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"vm1place/internal/cells"
 	"vm1place/internal/core"
@@ -22,20 +23,36 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	// 1. Technology and ClosedM1 standard-cell library.
 	t := tech.Default()
-	lib := cells.NewLibrary(t, tech.ClosedM1)
+	lib, err := cells.NewLibrary(t, tech.ClosedM1)
+	if err != nil {
+		return err
+	}
 
 	// 2. Synthetic gate-level netlist (stands in for synthesized RTL).
-	design := netlist.Generate(lib, netlist.DefaultGenConfig("quickstart", 1000, 7))
+	design, err := netlist.Generate(lib, netlist.DefaultGenConfig("quickstart", 1000, 7))
+	if err != nil {
+		return err
+	}
 	stats := design.Stats()
 	fmt.Printf("design: %d instances, %d nets, avg fanout %.2f\n",
 		stats.NumInsts, stats.NumNets, stats.AvgFanout)
 
 	// 3. Floorplan at 75%% utilization, global placement, legalization.
-	p := layout.NewFloorplan(t, design, 0.75)
+	p, err := layout.NewFloorplan(t, design, 0.75)
+	if err != nil {
+		return err
+	}
 	if err := place.Global(p, place.Options{}); err != nil {
-		panic(err)
+		return err
 	}
 
 	// 4. Route the initial placement and record baseline metrics.
@@ -56,6 +73,7 @@ func main() {
 		after.DM1, float64(after.RWL)/1000, after.Via12)
 	fmt.Printf("deltas:    dM1 %+.1f%%   RWL %+.2f%%   via12 %+.2f%%\n",
 		pct(before.DM1, after.DM1), pct64(before.RWL, after.RWL), pct(before.Via12, after.Via12))
+	return nil
 }
 
 func pct(a, b int) float64     { return float64(b-a) / float64(a) * 100 }

@@ -201,7 +201,7 @@ func (l *Library) Master(name string) *Master { return l.byName[name] }
 func (l *Library) MustMaster(name string) *Master {
 	m := l.byName[name]
 	if m == nil {
-		panic(fmt.Sprintf("cells: no master %q in %s library", name, l.Arch))
+		panic(fmt.Sprintf("cells: no master %q in %s library", name, l.Arch)) // panic-ok: Must* wrapper
 	}
 	return m
 }

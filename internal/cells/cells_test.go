@@ -11,7 +11,7 @@ import (
 func TestLibrariesValidate(t *testing.T) {
 	tc := tech.Default()
 	for _, arch := range []tech.Arch{tech.Conventional, tech.ClosedM1, tech.OpenM1} {
-		lib := NewLibrary(tc, arch)
+		lib := MustNewLibrary(tc, arch)
 		if err := lib.Validate(); err != nil {
 			t.Errorf("%s library invalid: %v", arch, err)
 		}
@@ -22,7 +22,7 @@ func TestLibrariesValidate(t *testing.T) {
 }
 
 func TestMasterLookup(t *testing.T) {
-	lib := NewLibrary(tech.Default(), tech.ClosedM1)
+	lib := MustNewLibrary(tech.Default(), tech.ClosedM1)
 	if lib.Master("INV_X1") == nil {
 		t.Fatal("INV_X1 missing")
 	}
@@ -38,7 +38,7 @@ func TestMasterLookup(t *testing.T) {
 }
 
 func TestPinClassification(t *testing.T) {
-	lib := NewLibrary(tech.Default(), tech.ClosedM1)
+	lib := MustNewLibrary(tech.Default(), tech.ClosedM1)
 	nand := lib.MustMaster("NAND2_X1")
 	if got := len(nand.SignalPins()); got != 3 {
 		t.Errorf("NAND2 signal pins = %d, want 3", got)
@@ -60,7 +60,7 @@ func TestPinClassification(t *testing.T) {
 
 func TestClosedM1PinsOnTrackGrid(t *testing.T) {
 	tc := tech.Default()
-	lib := NewLibrary(tc, tech.ClosedM1)
+	lib := MustNewLibrary(tc, tech.ClosedM1)
 	for _, m := range lib.Masters {
 		for _, p := range m.SignalPins() {
 			for _, flipped := range []bool{false, true} {
@@ -80,7 +80,7 @@ func TestClosedM1PinsOnTrackGrid(t *testing.T) {
 
 func TestClosedM1PinTracksDistinct(t *testing.T) {
 	tc := tech.Default()
-	lib := NewLibrary(tc, tech.ClosedM1)
+	lib := MustNewLibrary(tc, tech.ClosedM1)
 	for _, m := range lib.Masters {
 		seen := map[int64]string{}
 		for _, p := range m.SignalPins() {
@@ -95,7 +95,7 @@ func TestClosedM1PinTracksDistinct(t *testing.T) {
 
 func TestOpenM1PinExtents(t *testing.T) {
 	tc := tech.Default()
-	lib := NewLibrary(tc, tech.OpenM1)
+	lib := MustNewLibrary(tc, tech.OpenM1)
 	for _, m := range lib.Masters {
 		for _, p := range m.SignalPins() {
 			ext := XExtent(m, tc, p, false)
@@ -125,7 +125,7 @@ func TestFlipRect(t *testing.T) {
 // cell; AlignX of the flip mirrors about the cell center.
 func TestFlipInvariantsQuick(t *testing.T) {
 	tc := tech.Default()
-	lib := NewLibrary(tc, tech.ClosedM1)
+	lib := MustNewLibrary(tc, tech.ClosedM1)
 	f := func(mi uint8, pi uint8) bool {
 		m := lib.Masters[int(mi)%len(lib.Masters)]
 		sp := m.SignalPins()
@@ -147,7 +147,7 @@ func TestFlipInvariantsQuick(t *testing.T) {
 
 func TestAbsShape(t *testing.T) {
 	tc := tech.Default()
-	lib := NewLibrary(tc, tech.ClosedM1)
+	lib := MustNewLibrary(tc, tech.ClosedM1)
 	inv := lib.MustMaster("INV_X1")
 	a := inv.Pin("A")
 	s := AbsShape(inv, tc, a, 1000, 500, false)
@@ -163,7 +163,7 @@ func TestAbsShape(t *testing.T) {
 func TestPinYWithinRow(t *testing.T) {
 	tc := tech.Default()
 	for _, arch := range []tech.Arch{tech.ClosedM1, tech.OpenM1} {
-		lib := NewLibrary(tc, arch)
+		lib := MustNewLibrary(tc, arch)
 		for _, m := range lib.Masters {
 			for _, p := range m.SignalPins() {
 				y := PinY(m, tc, p)
@@ -176,7 +176,7 @@ func TestPinYWithinRow(t *testing.T) {
 }
 
 func TestTimingModelSane(t *testing.T) {
-	lib := NewLibrary(tech.Default(), tech.ClosedM1)
+	lib := MustNewLibrary(tech.Default(), tech.ClosedM1)
 	for _, m := range lib.Masters {
 		if m.Intrinsic <= 0 || m.DriveRes <= 0 || m.InputCap <= 0 || m.LeakageUW <= 0 {
 			t.Errorf("%s has non-positive timing/power parameters", m.Name)
@@ -192,7 +192,7 @@ func TestTimingModelSane(t *testing.T) {
 
 func TestConventionalArchPins(t *testing.T) {
 	tc := tech.Default()
-	lib := NewLibrary(tc, tech.Conventional)
+	lib := MustNewLibrary(tc, tech.Conventional)
 	inv := lib.MustMaster("INV_X1")
 	for _, p := range inv.SignalPins() {
 		if p.AccessShape().Layer != tech.M1 {

@@ -1,11 +1,16 @@
 package cells
 
 import (
+	"errors"
 	"fmt"
 
 	"vm1place/internal/geom"
 	"vm1place/internal/tech"
 )
+
+// ErrInvalidLibrary reports that a synthesized library failed validation.
+// NewLibrary wraps it, so callers can errors.Is against it.
+var ErrInvalidLibrary = errors.New("cells: synthesized library invalid")
 
 // masterSpec is the architecture-independent description of one cell
 // template; pin geometry is synthesized per architecture by NewLibrary.
@@ -43,8 +48,10 @@ var specs = []masterSpec{
 }
 
 // NewLibrary synthesizes the full cell set for the given architecture.
-// The returned library always validates.
-func NewLibrary(t *tech.Tech, arch tech.Arch) *Library {
+// The returned library always validates; a validation failure (possible
+// only with out-of-range tech parameters) is reported as an error wrapping
+// ErrInvalidLibrary.
+func NewLibrary(t *tech.Tech, arch tech.Arch) (*Library, error) {
 	lib := &Library{Tech: t, Arch: arch, byName: make(map[string]*Master)}
 	for _, sp := range specs {
 		m := buildMaster(t, arch, sp)
@@ -52,7 +59,17 @@ func NewLibrary(t *tech.Tech, arch tech.Arch) *Library {
 		lib.byName[m.Name] = m
 	}
 	if err := lib.Validate(); err != nil {
-		panic(fmt.Sprintf("cells: synthesized library invalid: %v", err))
+		return nil, fmt.Errorf("%w: %v", ErrInvalidLibrary, err)
+	}
+	return lib, nil
+}
+
+// MustNewLibrary is NewLibrary panicking on error; for tests and
+// generators working with known-good tech parameters.
+func MustNewLibrary(t *tech.Tech, arch tech.Arch) *Library {
+	lib, err := NewLibrary(t, arch)
+	if err != nil {
+		panic(err) // panic-ok: Must* wrapper
 	}
 	return lib
 }

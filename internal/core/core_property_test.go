@@ -148,7 +148,7 @@ func TestParamsAlignGamma(t *testing.T) {
 // and staying put is not penalized by the cell's own pins.
 func TestPinDensityCandidateCosts(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
 	m := newManual(lib)
 	u0 := m.addInst("INV_X1") // the cell under test
 	u1 := m.addInst("INV_X1") // crowd
@@ -156,7 +156,7 @@ func TestPinDensityCandidateCosts(t *testing.T) {
 	m.connect(u0, "ZN", [2]interface{}{u1, "A"})
 	m.connect(u1, "ZN", [2]interface{}{u2, "A"})
 	m.tieOff()
-	p := layout.NewFloorplan(tc, m.d, 0.05)
+	p := layout.MustNewFloorplan(tc, m.d, 0.05)
 	p.SpreadEven()
 	// u0 alone at the left of row 0; u1/u2 stacked near site 6.
 	p.SetLoc(u0, 0, 0, false)

@@ -96,9 +96,9 @@ func (m *manual) tieOff() {
 func genPlaced(t *testing.T, arch tech.Arch, n int, seed int64, util float64) *layout.Placement {
 	t.Helper()
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, arch)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("c", n, seed))
-	p := layout.NewFloorplan(tc, d, util)
+	lib := cells.MustNewLibrary(tc, arch)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("c", n, seed))
+	p := layout.MustNewFloorplan(tc, d, util)
 	if err := place.Global(p, place.Options{}); err != nil {
 		t.Fatal(err)
 	}
@@ -107,13 +107,13 @@ func genPlaced(t *testing.T, arch tech.Arch, n int, seed int64, util float64) *l
 
 func TestCalculateObjManualClosedM1(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
 	m := newManual(lib)
 	u0 := m.addInst("INV_X1")
 	u1 := m.addInst("INV_X1")
 	m.connect(u0, "ZN", [2]interface{}{u1, "A"})
 	m.tieOff()
-	p := layout.NewFloorplan(tc, m.d, 0.05)
+	p := layout.MustNewFloorplan(tc, m.d, 0.05)
 	p.SpreadEven()
 	prm := DefaultParams(tc, tech.ClosedM1)
 
@@ -142,13 +142,13 @@ func TestCalculateObjManualClosedM1(t *testing.T) {
 
 func TestCalculateObjManualOpenM1(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.OpenM1)
+	lib := cells.MustNewLibrary(tc, tech.OpenM1)
 	m := newManual(lib)
 	u0 := m.addInst("INV_X1")
 	u1 := m.addInst("INV_X1")
 	m.connect(u0, "ZN", [2]interface{}{u1, "A"})
 	m.tieOff()
-	p := layout.NewFloorplan(tc, m.d, 0.05)
+	p := layout.MustNewFloorplan(tc, m.d, 0.05)
 	p.SpreadEven()
 	prm := DefaultParams(tc, tech.OpenM1)
 
@@ -171,13 +171,13 @@ func TestCalculateObjManualOpenM1(t *testing.T) {
 
 func TestWindowMILPAlignsPair(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
 	m := newManual(lib)
 	u0 := m.addInst("INV_X1")
 	u1 := m.addInst("INV_X1")
 	m.connect(u0, "ZN", [2]interface{}{u1, "A"})
 	m.tieOff()
-	p := layout.NewFloorplan(tc, m.d, 0.05)
+	p := layout.MustNewFloorplan(tc, m.d, 0.05)
 	p.SpreadEven()
 	// Misaligned by 2 sites; within lx=3 of alignment.
 	p.SetLoc(u0, 0, 0, false)
@@ -213,13 +213,13 @@ func TestWindowMILPAlignsPair(t *testing.T) {
 
 func TestWindowFlipPassAligns(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
 	m := newManual(lib)
 	u0 := m.addInst("INV_X1")
 	u1 := m.addInst("INV_X1")
 	m.connect(u0, "ZN", [2]interface{}{u1, "A"})
 	m.tieOff()
-	p := layout.NewFloorplan(tc, m.d, 0.05)
+	p := layout.MustNewFloorplan(tc, m.d, 0.05)
 	p.SpreadEven()
 	// u0 ZN at site 1; u1 at site 0: A at site 0 unflipped, site 1 flipped.
 	p.SetLoc(u0, 0, 0, false)
@@ -243,13 +243,13 @@ func TestWindowFlipPassAligns(t *testing.T) {
 
 func TestWindowOpenM1IncreasesOverlap(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.OpenM1)
+	lib := cells.MustNewLibrary(tc, tech.OpenM1)
 	m := newManual(lib)
 	u0 := m.addInst("INV_X1")
 	u1 := m.addInst("INV_X1")
 	m.connect(u0, "ZN", [2]interface{}{u1, "A"})
 	m.tieOff()
-	p := layout.NewFloorplan(tc, m.d, 0.05)
+	p := layout.MustNewFloorplan(tc, m.d, 0.05)
 	p.SpreadEven()
 	p.SetLoc(u0, 0, 0, false)
 	p.SetLoc(u1, 4, 1, false) // no overlap

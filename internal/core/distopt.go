@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"sync"
+	"time"
 
 	"vm1place/internal/geom"
 	"vm1place/internal/layout"
@@ -61,8 +63,9 @@ func workersOf(prm Params) int {
 func DistOpt(p *layout.Placement, prm Params, ps ParamSet, tx, ty int64,
 	allowMove, allowFlip bool) Objective {
 	t := NewObjTracker(p, prm)
-	return distPass(t, ps, makeGrid(p, ps, tx, ty),
+	obj, _ := distPass(context.Background(), t, ps, makeGrid(p, ps, tx, ty),
 		newArenaPool(workersOf(prm)), allowMove, allowFlip)
+	return obj
 }
 
 // distPass runs one DistOpt pass through an ObjTracker. Windows are built
@@ -71,8 +74,15 @@ func DistOpt(p *layout.Placement, prm Params, ps ParamSet, tx, ty int64,
 // disjoint projections never conflict, so no placement snapshot is needed.
 // Accepted relocations are funneled through t.ApplyMoves, which updates
 // only the nets incident to moved cells instead of rescanning the design.
-func distPass(t *ObjTracker, ps ParamSet, g passGrid, arenas chan *lp.Arena,
-	allowMove, allowFlip bool) Objective {
+//
+// Cancellation is checked between window families — the pass's commit
+// boundaries — so an interrupted pass returns with the placement legal and
+// the tracker consistent, together with the ctx error. A context deadline
+// additionally clamps the per-window MILP wall budget (familyParams), so
+// solves launched near the deadline cannot overrun it: the milp solver
+// arms lp.Arena.SetDeadline with exactly this budget.
+func distPass(ctx context.Context, t *ObjTracker, ps ParamSet, g passGrid,
+	arenas chan *lp.Arena, allowMove, allowFlip bool) (Objective, error) {
 	p, prm := t.p, t.prm
 
 	// Diagonal scheduling: family f holds windows with (wi - wj) ≡ f
@@ -95,6 +105,10 @@ func distPass(t *ObjTracker, ps ParamSet, g passGrid, arenas chan *lp.Arena,
 		if len(family) == 0 {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return t.Objective(), err
+		}
+		fprm := familyParams(ctx, prm)
 
 		type result struct {
 			w      *window
@@ -108,7 +122,7 @@ func distPass(t *ObjTracker, ps ParamSet, g passGrid, arenas chan *lp.Arena,
 			go func(k, widx int, arena *lp.Arena) {
 				defer wg.Done()
 				defer func() { arenas <- arena }()
-				w := buildWindow(p, prm, g.rects[widx], ps, g.buckets[widx], allowMove, allowFlip)
+				w := buildWindow(p, fprm, g.rects[widx], ps, g.buckets[widx], allowMove, allowFlip)
 				w.scratch = arena
 				results[k] = result{w: w, assign: w.solve()}
 			}(k, widx, arena)
@@ -132,7 +146,29 @@ func distPass(t *ObjTracker, ps ParamSet, g passGrid, arenas chan *lp.Arena,
 			t.ApplyMoves(moves)
 		}
 	}
-	return t.Objective()
+	return t.Objective(), nil
+}
+
+// familyParams clamps the per-window MILP budget of one family to the
+// remaining time before the context deadline. Without a deadline the
+// params pass through untouched, keeping the uncanceled path identical to
+// the pre-context engine.
+func familyParams(ctx context.Context, prm Params) Params {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return prm
+	}
+	rem := time.Until(dl)
+	if rem < time.Millisecond {
+		// The family launches anyway (the caller's ctx.Err() gate passed);
+		// a floor keeps the milp deadline armed rather than treating a
+		// non-positive TimeLimit as "no budget".
+		rem = time.Millisecond
+	}
+	if prm.TimeLimit <= 0 || rem < prm.TimeLimit {
+		prm.TimeLimit = rem
+	}
+	return prm
 }
 
 // partition tiles the die with bw x bh windows offset by (tx, ty),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -41,9 +42,9 @@ func TestObjTrackerMatchesOptimizerPasses(t *testing.T) {
 		var tx, ty int64
 		for it := 0; it < 3; it++ {
 			g := makeGrid(p, ps, tx, ty)
-			distPass(tr, ps, g, arenas, true, false)
+			distPass(context.Background(), tr, ps, g, arenas, true, false)
 			requireObjEqual(t, arch.String()+"/perturb", tr)
-			distPass(tr, ps, g, arenas, false, true)
+			distPass(context.Background(), tr, ps, g, arenas, false, true)
 			requireObjEqual(t, arch.String()+"/flip", tr)
 			// Half-window shifts produce clipped windows on the die
 			// boundary next iteration (Section 4.2 coverage).

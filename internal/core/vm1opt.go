@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"time"
 
@@ -11,7 +13,8 @@ import (
 type Result struct {
 	// Initial and Final objectives.
 	Initial, Final Objective
-	// History holds the objective after every DistOpt pair.
+	// History holds the objective after every DistOpt pair. A canceled run
+	// truncates the history at the last completed pair.
 	History []Objective
 	// Iters counts DistOpt pairs executed.
 	Iters int
@@ -31,12 +34,48 @@ type Result struct {
 // the same offset), and each worker keeps one LP arena for the whole run
 // so warm starts survive across windows, families and passes.
 func VM1Opt(p *layout.Placement, prm Params, u Sequence) Result {
+	res, _ := VM1OptCtx(context.Background(), p, prm, u)
+	return res
+}
+
+// VM1OptCtx is VM1Opt under a context: cancellation is checked between
+// window families (the optimizer's commit boundaries), so the placement is
+// always legal when it returns, and a context deadline additionally clamps
+// the per-window MILP wall budget (threaded down to lp.Arena.SetDeadline)
+// so in-flight window solves stop at the deadline too. On cancellation it
+// returns the partial Result accumulated so far — Final reflects the
+// current placement and History is truncated at the last completed pair —
+// together with an error wrapping ctx.Err().
+func VM1OptCtx(ctx context.Context, p *layout.Placement, prm Params, u Sequence) (Result, error) {
+	return vm1optRun(ctx, p, prm, u, false)
+}
+
+// VM1OptJoint is the ablation variant of Algorithm 1 that optimizes
+// location and orientation *simultaneously* in each window MILP instead of
+// the paper's sequential perturb-then-flip passes. The paper observes the
+// sequential scheme is faster at similar quality (§4.2); this variant
+// exists to reproduce that comparison.
+func VM1OptJoint(p *layout.Placement, prm Params, u Sequence) Result {
+	res, _ := VM1OptJointCtx(context.Background(), p, prm, u)
+	return res
+}
+
+// VM1OptJointCtx is VM1OptJoint with VM1OptCtx's cancellation semantics.
+func VM1OptJointCtx(ctx context.Context, p *layout.Placement, prm Params, u Sequence) (Result, error) {
+	return vm1optRun(ctx, p, prm, u, true)
+}
+
+// vm1optRun drives Algorithm 1 in either the sequential perturb-then-flip
+// mode or the joint move+flip ablation mode.
+func vm1optRun(ctx context.Context, p *layout.Placement, prm Params, u Sequence, joint bool) (Result, error) {
 	start := time.Now()
 	t := NewObjTracker(p, prm)
 	res := Result{Initial: t.Objective()}
 	obj := res.Initial
 	arenas := newArenaPool(workersOf(prm))
 
+	var runErr error
+loop:
 	for _, ps := range u {
 		var tx, ty int64
 		iters := 0
@@ -44,10 +83,21 @@ func VM1Opt(p *layout.Placement, prm Params, u Sequence) Result {
 			preObj := obj.Value
 			g := makeGrid(p, ps, tx, ty)
 
-			// Perturbation pass: move within (lx, ly), keep orientation.
-			distPass(t, ps, g, arenas, true, false)
-			// Flip pass: keep location, optimize orientation.
-			obj = distPass(t, ps, g, arenas, false, true)
+			if joint {
+				obj, runErr = distPass(ctx, t, ps, g, arenas, true, true)
+			} else {
+				// Perturbation pass: move within (lx, ly), keep orientation.
+				if _, runErr = distPass(ctx, t, ps, g, arenas, true, false); runErr == nil {
+					// Flip pass: keep location, optimize orientation.
+					obj, runErr = distPass(ctx, t, ps, g, arenas, false, true)
+				}
+			}
+			if runErr != nil {
+				// Partial pair: the placement is legal (moves commit at
+				// family boundaries) but the pair did not finish, so the
+				// history is truncated here.
+				break loop
+			}
 
 			// Shift windows to pick up previously-unoptimizable boundary
 			// cells (Section 4.2).
@@ -67,44 +117,10 @@ func VM1Opt(p *layout.Placement, prm Params, u Sequence) Result {
 			}
 		}
 	}
-	res.Final = obj
+	res.Final = t.Objective()
 	res.Duration = time.Since(start)
-	return res
-}
-
-// VM1OptJoint is the ablation variant of Algorithm 1 that optimizes
-// location and orientation *simultaneously* in each window MILP instead of
-// the paper's sequential perturb-then-flip passes. The paper observes the
-// sequential scheme is faster at similar quality (§4.2); this variant
-// exists to reproduce that comparison.
-func VM1OptJoint(p *layout.Placement, prm Params, u Sequence) Result {
-	start := time.Now()
-	t := NewObjTracker(p, prm)
-	res := Result{Initial: t.Objective()}
-	obj := res.Initial
-	arenas := newArenaPool(workersOf(prm))
-
-	for _, ps := range u {
-		var tx, ty int64
-		iters := 0
-		for {
-			preObj := obj.Value
-			obj = distPass(t, ps, makeGrid(p, ps, tx, ty), arenas, true, true)
-			tx += ps.BW / 2
-			ty += ps.BH / 2
-			res.History = append(res.History, obj)
-			res.Iters++
-			iters++
-			dObj := (preObj - obj.Value) / math.Max(math.Abs(preObj), 1)
-			if dObj < prm.Theta {
-				break
-			}
-			if prm.MaxOuterIters > 0 && iters >= prm.MaxOuterIters {
-				break
-			}
-		}
+	if runErr != nil {
+		return res, fmt.Errorf("core: VM1Opt interrupted: %w", runErr)
 	}
-	res.Final = obj
-	res.Duration = time.Since(start)
-	return res
+	return res, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"vm1place/internal/lp"
 	"vm1place/internal/milp"
@@ -177,8 +178,16 @@ func (w *window) buildModel() (*lp.Model, *milp.Model, [][]int, float64) {
 			}
 		}
 	}
-	for _, terms := range occ {
-		if len(terms) > 1 {
+	// Rows are added in sorted site order: map iteration order is random
+	// in Go, and row order steers simplex pivoting, so iterating the map
+	// directly would make window solutions vary run to run.
+	occKeys := make([]int, 0, len(occ))
+	for idx := range occ {
+		occKeys = append(occKeys, idx)
+	}
+	sort.Ints(occKeys)
+	for _, idx := range occKeys {
+		if terms := occ[idx]; len(terms) > 1 {
 			m.AddRow(lp.LE, 1, terms...)
 		}
 	}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -29,18 +30,23 @@ type SuiteConfig struct {
 
 // forEachPoint evaluates fn(i) for i in [0, n), running up to
 // cfg.FlowParallel points concurrently. Callers store results by index, so
-// output order matches the sequential loop exactly.
-func (c SuiteConfig) forEachPoint(n int, fn func(int)) {
+// output order matches the sequential loop exactly; likewise the returned
+// error is the failure with the lowest index, regardless of completion
+// order.
+func (c SuiteConfig) forEachPoint(n int, fn func(int) error) error {
 	par := c.FlowParallel
 	if par > n {
 		par = n
 	}
 	if par <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := fn(i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
+	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for k := 0; k < par; k++ {
@@ -52,25 +58,32 @@ func (c SuiteConfig) forEachPoint(n int, fn func(int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				errs[i] = fn(i)
 			}
 		}()
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// design returns the (possibly scaled) spec for a paper design name.
-func (c SuiteConfig) design(name string) DesignSpec {
+// design returns the (possibly scaled) spec for a paper design name, or an
+// error wrapping ErrUnknownDesign.
+func (c SuiteConfig) design(name string) (DesignSpec, error) {
 	specs := PaperDesigns
 	if c.Scale > 0 && c.Scale < 1 {
 		specs = ScaledDesigns(c.Scale)
 	}
 	for _, s := range specs {
 		if s.Name == name {
-			return s
+			return s, nil
 		}
 	}
-	panic("expt: unknown design " + name)
+	return DesignSpec{}, fmt.Errorf("%w: %s", ErrUnknownDesign, name)
 }
 
 // --- ExptA-1 / Figure 5: window size & perturbation scalability ---------
@@ -85,14 +98,17 @@ type Fig5Point struct {
 
 // RunFig5 sweeps square window sizes (and optionally perturbation ranges)
 // on aes/ClosedM1 with a single DistOpt pair, as in ExptA-1.
-func RunFig5(cfg SuiteConfig, windowsUm []float64, perturbations [][2]int) []Fig5Point {
+func RunFig5(cfg SuiteConfig, windowsUm []float64, perturbations [][2]int) ([]Fig5Point, error) {
 	if windowsUm == nil {
 		windowsUm = []float64{5, 10, 20, 40, 80}
 	}
 	if perturbations == nil {
 		perturbations = [][2]int{{4, 1}}
 	}
-	spec := cfg.design("aes")
+	spec, err := cfg.design("aes")
+	if err != nil {
+		return nil, err
+	}
 	type fig5Case struct {
 		um float64
 		lp [2]int
@@ -104,9 +120,9 @@ func RunFig5(cfg SuiteConfig, windowsUm []float64, perturbations [][2]int) []Fig
 		}
 	}
 	out := make([]Fig5Point, len(cases))
-	cfg.forEachPoint(len(cases), func(i int) {
+	err = cfg.forEachPoint(len(cases), func(i int) error {
 		c := cases[i]
-		r := RunFlow(spec, FlowConfig{
+		r, err := RunFlow(spec, FlowConfig{
 			Arch: tech.ClosedM1,
 			Sequence: core.Sequence{{
 				BW: UmToDBU(c.um), BH: UmToDBU(c.um), LX: c.lp[0], LY: c.lp[1],
@@ -114,12 +130,19 @@ func RunFig5(cfg SuiteConfig, windowsUm []float64, perturbations [][2]int) []Fig
 			MaxOuterIters: 1,
 			Workers:       cfg.Workers,
 		})
+		if err != nil {
+			return err
+		}
 		out[i] = Fig5Point{
 			WindowUm: c.um, LX: c.lp[0], LY: c.lp[1],
 			RWL: r.Final.RWL, Runtime: r.OptRuntime,
 		}
+		return nil
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // WriteFig5 prints the normalized RWL / runtime series of Figure 5.
@@ -152,24 +175,34 @@ type Fig6Point struct {
 
 // RunFig6 sweeps α on aes with the given architecture, reporting RWL and
 // #dM1 after optimization + reroute (ExptA-2).
-func RunFig6(cfg SuiteConfig, arch tech.Arch, alphas []float64) []Fig6Point {
+func RunFig6(cfg SuiteConfig, arch tech.Arch, alphas []float64) ([]Fig6Point, error) {
 	if alphas == nil {
 		alphas = []float64{0, 10, 100, 400, 800, 1200, 2000, 4000, 6000}
 	}
-	spec := cfg.design("aes")
+	spec, err := cfg.design("aes")
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Fig6Point, len(alphas))
-	cfg.forEachPoint(len(alphas), func(i int) {
+	err = cfg.forEachPoint(len(alphas), func(i int) error {
 		a := alphas[i]
-		r := RunFlow(spec, FlowConfig{
+		r, err := RunFlow(spec, FlowConfig{
 			Arch:          arch,
 			Alpha:         a,
 			AlphaSet:      true,
 			MaxOuterIters: 2,
 			Workers:       cfg.Workers,
 		})
+		if err != nil {
+			return err
+		}
 		out[i] = Fig6Point{Alpha: a, RWL: r.Final.RWL, DM1: r.Final.DM1}
+		return nil
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // WriteFig6 prints the Figure 6 series.
@@ -206,13 +239,16 @@ type Fig7Point struct {
 }
 
 // RunFig7 evaluates the five U sequences on aes/ClosedM1 (ExptA-3).
-func RunFig7(cfg SuiteConfig, seqs []SequenceSpec) []Fig7Point {
+func RunFig7(cfg SuiteConfig, seqs []SequenceSpec) ([]Fig7Point, error) {
 	if seqs == nil {
 		seqs = PaperSequences
 	}
-	spec := cfg.design("aes")
+	spec, err := cfg.design("aes")
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Fig7Point, len(seqs))
-	cfg.forEachPoint(len(seqs), func(i int) {
+	err = cfg.forEachPoint(len(seqs), func(i int) error {
 		ss := seqs[i]
 		var u core.Sequence
 		for _, st := range ss.Steps {
@@ -221,15 +257,22 @@ func RunFig7(cfg SuiteConfig, seqs []SequenceSpec) []Fig7Point {
 				LX: st[1], LY: st[2],
 			})
 		}
-		r := RunFlow(spec, FlowConfig{
+		r, err := RunFlow(spec, FlowConfig{
 			Arch:          tech.ClosedM1,
 			Sequence:      u,
 			MaxOuterIters: 2,
 			Workers:       cfg.Workers,
 		})
+		if err != nil {
+			return err
+		}
 		out[i] = Fig7Point{Name: ss.Name, RWL: r.Final.RWL, Runtime: r.OptRuntime}
+		return nil
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // WriteFig7 prints the Figure 7 series.
@@ -244,13 +287,20 @@ func WriteFig7(w io.Writer, pts []Fig7Point) {
 // --- ExptB / Table 2 ------------------------------------------------------
 
 // RunTable2 runs the full flow on every design for one architecture.
-func RunTable2(cfg SuiteConfig, arch tech.Arch) []FlowResult {
+func RunTable2(cfg SuiteConfig, arch tech.Arch) ([]FlowResult, error) {
 	out := make([]FlowResult, len(PaperDesigns))
-	cfg.forEachPoint(len(PaperDesigns), func(i int) {
-		spec := cfg.design(PaperDesigns[i].Name)
-		out[i] = RunFlow(spec, FlowConfig{Arch: arch, Workers: cfg.Workers})
+	err := cfg.forEachPoint(len(PaperDesigns), func(i int) error {
+		spec, err := cfg.design(PaperDesigns[i].Name)
+		if err != nil {
+			return err
+		}
+		out[i], err = RunFlow(spec, FlowConfig{Arch: arch, Workers: cfg.Workers})
+		return err
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // WriteTable2 prints the Table 2 block for one architecture.
@@ -274,20 +324,30 @@ type Fig8Point struct {
 // RunFig8 sweeps placement utilization on aes/ClosedM1 and reports DRVs
 // before and after optimization plus the final dM1 count (the congestion
 // study of ExptB-1).
-func RunFig8(cfg SuiteConfig, utils []float64) []Fig8Point {
+func RunFig8(cfg SuiteConfig, utils []float64) ([]Fig8Point, error) {
 	if utils == nil {
 		utils = []float64{0.75, 0.78, 0.81, 0.82, 0.83, 0.84}
 	}
-	spec := cfg.design("aes")
+	spec, err := cfg.design("aes")
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Fig8Point, len(utils))
-	cfg.forEachPoint(len(utils), func(i int) {
+	err = cfg.forEachPoint(len(utils), func(i int) error {
 		u := utils[i]
-		r := RunFlow(spec, FlowConfig{Arch: tech.ClosedM1, Util: u, Workers: cfg.Workers})
+		r, err := RunFlow(spec, FlowConfig{Arch: tech.ClosedM1, Util: u, Workers: cfg.Workers})
+		if err != nil {
+			return err
+		}
 		out[i] = Fig8Point{
 			Util: u, DRVsOrig: r.Init.DRVs, DRVsOpt: r.Final.DRVs, DM1: r.Final.DM1,
 		}
+		return nil
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // WriteFig8 prints the Figure 8 series.
@@ -312,63 +372,42 @@ type AblationResult struct {
 // RunAblationJointFlip compares the paper's sequential perturb-then-flip
 // DistOpt pairs against a joint move+flip optimization (§4.2's
 // observation: sequential is faster at similar quality).
-func RunAblationJointFlip(cfg SuiteConfig) AblationResult {
-	spec := cfg.design("aes")
+func RunAblationJointFlip(cfg SuiteConfig) (AblationResult, error) {
+	spec, err := cfg.design("aes")
+	if err != nil {
+		return AblationResult{}, err
+	}
 	seq := DefaultSequence()
 
-	base := RunFlow(spec, FlowConfig{
+	base, err := RunFlow(spec, FlowConfig{
 		Arch: tech.ClosedM1, Sequence: seq, MaxOuterIters: 2, Workers: cfg.Workers,
 	})
+	if err != nil {
+		return AblationResult{}, err
+	}
 
 	// Joint variant: one DistOpt with both degrees of freedom per
 	// iteration (implemented via the core JointMode sequence flag).
-	joint := RunJointFlow(spec, FlowConfig{
+	joint, err := RunJointFlow(spec, FlowConfig{
 		Arch: tech.ClosedM1, Sequence: seq, MaxOuterIters: 2, Workers: cfg.Workers,
 	})
+	if err != nil {
+		return AblationResult{}, err
+	}
 
 	return AblationResult{
 		Name:    "sequential-vs-joint-flip",
 		BaseRWL: base.Final.RWL, VarRWL: joint.Final.RWL,
 		BaseDM1: base.Final.DM1, VarDM1: joint.Final.DM1,
 		BaseSec: base.OptRuntime.Seconds(), VarSec: joint.OptRuntime.Seconds(),
-	}
+	}, nil
 }
 
 // RunJointFlow mirrors RunFlow but optimizes moves and flips
-// simultaneously in each window MILP.
-func RunJointFlow(spec DesignSpec, cfg FlowConfig) FlowResult {
-	if cfg.Util == 0 {
-		cfg.Util = 0.75
-	}
-	p := BuildPlaced(spec, cfg.Arch, cfg.Util)
-	prm := core.DefaultParams(p.Tech, cfg.Arch)
-	if cfg.AlphaSet || cfg.Alpha > 0 {
-		prm.Alpha = cfg.Alpha
-	}
-	if cfg.MaxOuterIters > 0 {
-		prm.MaxOuterIters = cfg.MaxOuterIters
-	}
-	if cfg.Workers > 0 {
-		prm.Workers = cfg.Workers
-	}
-	seq := cfg.Sequence
-	if seq == nil {
-		seq = DefaultSequence()
-	}
-	res := FlowResult{
-		Design: spec.Name, NumInsts: len(p.Design.Insts),
-		Arch: cfg.Arch, Util: cfg.Util, Alpha: prm.Alpha,
-	}
-	var rt time.Duration
-	res.Init, rt = snapshot(p, cfg.Arch, cfg.Workers)
-	res.RouteRuntime += rt
-	opt := core.VM1OptJoint(p, prm, seq)
-	res.OptInitial = opt.Initial
-	res.OptFinal = opt.Final
-	res.OptRuntime = opt.Duration
-	res.Final, rt = snapshot(p, cfg.Arch, cfg.Workers)
-	res.RouteRuntime += rt
-	return res
+// simultaneously in each window MILP. It is the same four-stage pipeline
+// with the joint optimizer plugged into the optimize stage.
+func RunJointFlow(spec DesignSpec, cfg FlowConfig) (FlowResult, error) {
+	return runFlow(context.Background(), spec, cfg, core.VM1OptJointCtx, 0, false)
 }
 
 // --- Timing-aware extension (paper future work (ii)) ----------------------
@@ -378,46 +417,18 @@ func RunJointFlow(spec DesignSpec, cfg FlowConfig) FlowResult {
 // weight so the optimizer resists stretching them while hunting
 // alignments.
 func TimingAwareBetas(spec DesignSpec, arch tech.Arch, util, weight float64) ([]float64, error) {
-	p := BuildPlaced(spec, arch, util)
+	p, err := BuildPlaced(spec, arch, util)
+	if err != nil {
+		return nil, err
+	}
 	cfg := staDefault()
 	slacks := staNetSlacks(p, cfg)
 	return staCriticalityBetas(slacks, cfg.ClockPeriodNs, weight), nil
 }
 
-// RunTimingAwareFlow mirrors RunFlow with slack-derived NetBeta weights.
-func RunTimingAwareFlow(spec DesignSpec, cfg FlowConfig, weight float64) FlowResult {
-	if cfg.Util == 0 {
-		cfg.Util = 0.75
-	}
-	p := BuildPlaced(spec, cfg.Arch, cfg.Util)
-	prm := core.DefaultParams(p.Tech, cfg.Arch)
-	if cfg.AlphaSet || cfg.Alpha > 0 {
-		prm.Alpha = cfg.Alpha
-	}
-	if cfg.MaxOuterIters > 0 {
-		prm.MaxOuterIters = cfg.MaxOuterIters
-	}
-	if cfg.Workers > 0 {
-		prm.Workers = cfg.Workers
-	}
-	staCfg := staDefault()
-	prm.NetBeta = staCriticalityBetas(staNetSlacks(p, staCfg), staCfg.ClockPeriodNs, weight)
-	seq := cfg.Sequence
-	if seq == nil {
-		seq = DefaultSequence()
-	}
-	res := FlowResult{
-		Design: spec.Name, NumInsts: len(p.Design.Insts),
-		Arch: cfg.Arch, Util: cfg.Util, Alpha: prm.Alpha,
-	}
-	var rt time.Duration
-	res.Init, rt = snapshot(p, cfg.Arch, cfg.Workers)
-	res.RouteRuntime += rt
-	opt := core.VM1Opt(p, prm, seq)
-	res.OptInitial = opt.Initial
-	res.OptFinal = opt.Final
-	res.OptRuntime = opt.Duration
-	res.Final, rt = snapshot(p, cfg.Arch, cfg.Workers)
-	res.RouteRuntime += rt
-	return res
+// RunTimingAwareFlow mirrors RunFlow with slack-derived NetBeta weights:
+// the build stage additionally runs the slack analysis on the fresh
+// placement and threads the criticality betas into the optimizer params.
+func RunTimingAwareFlow(spec DesignSpec, cfg FlowConfig, weight float64) (FlowResult, error) {
+	return runFlow(context.Background(), spec, cfg, core.VM1OptCtx, weight, true)
 }

@@ -9,15 +9,24 @@
 // the same windows-much-smaller-than-die regime as the paper. Designs are
 // generated at the paper's instance counts by default, with a Scale knob
 // for faster CI-size runs.
+//
+// Every flow run is a flow.Pipeline of four stages — build, init-route,
+// optimize, final-route — threaded by one context.Context, so a deadline
+// or cancellation propagates into the optimizer's window families and the
+// router's batch commits. RunFlow and friends are thin stage compositions
+// over that engine.
 package expt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
 
 	"vm1place/internal/cells"
 	"vm1place/internal/core"
+	"vm1place/internal/flow"
 	"vm1place/internal/layout"
 	"vm1place/internal/netlist"
 	"vm1place/internal/place"
@@ -25,6 +34,10 @@ import (
 	"vm1place/internal/sta"
 	"vm1place/internal/tech"
 )
+
+// ErrUnknownDesign reports a design name outside the paper's testcases.
+// SuiteConfig.design wraps it, so callers can errors.Is against it.
+var ErrUnknownDesign = errors.New("expt: unknown design")
 
 // UmToDBU converts a paper window size in µm to DBU: 1 µm ≈ 1 site
 // (100 DBU) horizontally and 0.4 rows vertically (see package comment).
@@ -77,12 +90,38 @@ type FlowConfig struct {
 	// substrate defaults (GOMAXPROCS). Routed Metrics are identical for
 	// every value — see internal/route/parallel.go.
 	Workers int
+	// TimeLimit overrides the optimizer's per-window MILP wall budget:
+	// positive sets it, negative disables it entirely (node-capped only —
+	// with Workers=1 the whole flow is then bit-for-bit deterministic),
+	// zero keeps the substrate default.
+	TimeLimit time.Duration
 }
 
 // DefaultSequence is the paper's preferred single parameter set
 // (bw = bh = 20µm, lx = 4, ly = 1) from ExptA-3.
 func DefaultSequence() core.Sequence {
 	return core.Sequence{{BW: UmToDBU(20), BH: UmToDBU(20), LX: 4, LY: 1}}
+}
+
+// params expands the config into optimizer parameters.
+func (cfg FlowConfig) params(t *tech.Tech) core.Params {
+	prm := core.DefaultParams(t, cfg.Arch)
+	if cfg.AlphaSet || cfg.Alpha > 0 {
+		prm.Alpha = cfg.Alpha
+	}
+	if cfg.MaxOuterIters > 0 {
+		prm.MaxOuterIters = cfg.MaxOuterIters
+	}
+	if cfg.Workers > 0 {
+		prm.Workers = cfg.Workers
+	}
+	switch {
+	case cfg.TimeLimit > 0:
+		prm.TimeLimit = cfg.TimeLimit
+	case cfg.TimeLimit < 0:
+		prm.TimeLimit = 0
+	}
+	return prm
 }
 
 // Snapshot is the full metric set of one routed placement (one half of a
@@ -117,16 +156,20 @@ type FlowResult struct {
 
 // snapshot routes the placement and gathers all metrics. workers sets the
 // router's worker-pool size (0 keeps the default); the metrics do not
-// depend on it.
-func snapshot(p *layout.Placement, arch tech.Arch, workers int) (Snapshot, time.Duration) {
+// depend on it. An interrupted routing run returns the elapsed time and
+// the ctx error; the snapshot is discarded.
+func snapshot(ctx context.Context, p *layout.Placement, arch tech.Arch, workers int) (Snapshot, time.Duration, error) {
 	start := time.Now()
 	rcfg := route.DefaultConfig(p.Tech, arch)
 	if workers > 0 {
 		rcfg.Workers = workers
 	}
 	r := route.New(p, rcfg)
-	m := r.RouteAll()
+	m, err := r.RouteAllCtx(ctx)
 	elapsed := time.Since(start)
+	if err != nil {
+		return Snapshot{}, elapsed, err
+	}
 	rep := sta.Analyze(p, sta.DefaultConfig(), nil)
 	return Snapshot{
 		DM1:     m.DM1,
@@ -137,64 +180,117 @@ func snapshot(p *layout.Placement, arch tech.Arch, workers int) (Snapshot, time.
 		WNS:     rep.WNS,
 		PowerMW: rep.TotalPowerMW,
 		DRVs:    m.Overflow,
-	}, elapsed
+	}, elapsed, nil
 }
 
 // BuildPlaced generates, floorplans, places and legalizes a design.
-func BuildPlaced(spec DesignSpec, arch tech.Arch, util float64) *layout.Placement {
+func BuildPlaced(spec DesignSpec, arch tech.Arch, util float64) (*layout.Placement, error) {
 	t := tech.Default()
-	lib := cells.NewLibrary(t, arch)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig(spec.Name, spec.NumInsts, spec.Seed))
-	p := layout.NewFloorplan(t, d, util)
-	if err := place.Global(p, place.Options{}); err != nil {
-		panic(fmt.Sprintf("expt: global placement failed for %s: %v", spec.Name, err))
+	lib, err := cells.NewLibrary(t, arch)
+	if err != nil {
+		return nil, fmt.Errorf("expt: build %s: %w", spec.Name, err)
 	}
-	return p
+	d, err := netlist.Generate(lib, netlist.DefaultGenConfig(spec.Name, spec.NumInsts, spec.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("expt: build %s: %w", spec.Name, err)
+	}
+	p, err := layout.NewFloorplan(t, d, util)
+	if err != nil {
+		return nil, fmt.Errorf("expt: build %s: %w", spec.Name, err)
+	}
+	if err := place.Global(p, place.Options{}); err != nil {
+		return nil, fmt.Errorf("expt: global placement failed for %s: %w", spec.Name, err)
+	}
+	return p, nil
 }
 
-// RunFlow executes the full flow on one design: place, route (Init
-// metrics), VM1Opt, reroute (Final metrics).
-func RunFlow(spec DesignSpec, cfg FlowConfig) FlowResult {
+// optimizer is the VM1Opt entry a flow variant plugs into the pipeline
+// (sequential perturb-then-flip, or the joint ablation).
+type optimizer func(ctx context.Context, p *layout.Placement, prm core.Params, u core.Sequence) (core.Result, error)
+
+// runFlow composes the four-stage pipeline behind every flow variant:
+//
+//	build       — generate, floorplan, globally place; derive params
+//	init-route  — route and snapshot the pre-optimization metrics
+//	optimize    — VM1Opt (variant-selected) on the live placement
+//	final-route — reroute and snapshot the post-optimization metrics
+//
+// The returned FlowResult holds whatever stages completed; on cancellation
+// or failure the error wraps both the failing stage (*flow.StageError) and
+// the underlying cause.
+func runFlow(ctx context.Context, spec DesignSpec, cfg FlowConfig, opt optimizer, timingWeight float64, timingAware bool) (FlowResult, error) {
 	if cfg.Util == 0 {
 		cfg.Util = 0.75
-	}
-	p := BuildPlaced(spec, cfg.Arch, cfg.Util)
-
-	prm := core.DefaultParams(p.Tech, cfg.Arch)
-	if cfg.AlphaSet || cfg.Alpha > 0 {
-		prm.Alpha = cfg.Alpha
-	}
-	if cfg.MaxOuterIters > 0 {
-		prm.MaxOuterIters = cfg.MaxOuterIters
-	}
-	if cfg.Workers > 0 {
-		prm.Workers = cfg.Workers
 	}
 	seq := cfg.Sequence
 	if seq == nil {
 		seq = DefaultSequence()
 	}
 
-	res := FlowResult{
-		Design:   spec.Name,
-		NumInsts: len(p.Design.Insts),
-		Arch:     cfg.Arch,
-		Util:     cfg.Util,
-		Alpha:    prm.Alpha,
-	}
+	res := FlowResult{Design: spec.Name, Arch: cfg.Arch, Util: cfg.Util}
+	var prm core.Params
 
-	var rt time.Duration
-	res.Init, rt = snapshot(p, cfg.Arch, cfg.Workers)
-	res.RouteRuntime += rt
+	pl := flow.New(
+		flow.Func("build", func(ctx context.Context, st *flow.State) error {
+			p, err := BuildPlaced(spec, cfg.Arch, cfg.Util)
+			if err != nil {
+				return err
+			}
+			st.Placement = p
+			res.NumInsts = len(p.Design.Insts)
+			prm = cfg.params(p.Tech)
+			if timingAware {
+				staCfg := staDefault()
+				prm.NetBeta = staCriticalityBetas(
+					staNetSlacks(p, staCfg), staCfg.ClockPeriodNs, timingWeight)
+			}
+			res.Alpha = prm.Alpha
+			return nil
+		}),
+		flow.Func("init-route", func(ctx context.Context, st *flow.State) error {
+			snap, rt, err := snapshot(ctx, st.Placement, cfg.Arch, cfg.Workers)
+			res.RouteRuntime += rt
+			if err != nil {
+				return err
+			}
+			res.Init = snap
+			st.Put("init", snap)
+			return nil
+		}),
+		flow.Func("optimize", func(ctx context.Context, st *flow.State) error {
+			r, err := opt(ctx, st.Placement, prm, seq)
+			res.OptInitial = r.Initial
+			res.OptFinal = r.Final
+			res.OptRuntime = r.Duration
+			st.Put("optimize", r)
+			return err
+		}),
+		flow.Func("final-route", func(ctx context.Context, st *flow.State) error {
+			snap, rt, err := snapshot(ctx, st.Placement, cfg.Arch, cfg.Workers)
+			res.RouteRuntime += rt
+			if err != nil {
+				return err
+			}
+			res.Final = snap
+			st.Put("final", snap)
+			return nil
+		}),
+	)
+	err := pl.Run(ctx, &flow.State{})
+	return res, err
+}
 
-	opt := core.VM1Opt(p, prm, seq)
-	res.OptInitial = opt.Initial
-	res.OptFinal = opt.Final
-	res.OptRuntime = opt.Duration
+// RunFlow executes the full flow on one design: place, route (Init
+// metrics), VM1Opt, reroute (Final metrics).
+func RunFlow(spec DesignSpec, cfg FlowConfig) (FlowResult, error) {
+	return RunFlowCtx(context.Background(), spec, cfg)
+}
 
-	res.Final, rt = snapshot(p, cfg.Arch, cfg.Workers)
-	res.RouteRuntime += rt
-	return res
+// RunFlowCtx is RunFlow under a context: cancellation and deadlines reach
+// every stage (the optimizer stops between window families, the router
+// between batches). The partial FlowResult covers the completed stages.
+func RunFlowCtx(ctx context.Context, spec DesignSpec, cfg FlowConfig) (FlowResult, error) {
+	return runFlow(ctx, spec, cfg, core.VM1OptCtx, 0, false)
 }
 
 // pct formats a percent delta.

@@ -10,6 +10,16 @@ import (
 
 const testScale = 0.04 // ~500-cell aes for fast tests
 
+// mustDesign resolves a named paper design, failing the test on error.
+func mustDesign(t *testing.T, cfg SuiteConfig, name string) DesignSpec {
+	t.Helper()
+	spec, err := cfg.design(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
 func TestUmToDBU(t *testing.T) {
 	if UmToDBU(20) != 2000 {
 		t.Errorf("UmToDBU(20) = %d", UmToDBU(20))
@@ -34,7 +44,10 @@ func TestScaledDesigns(t *testing.T) {
 
 func TestRunFlowClosedM1(t *testing.T) {
 	cfg := SuiteConfig{Scale: testScale, Workers: 4}
-	r := RunFlow(cfg.design("aes"), FlowConfig{Arch: tech.ClosedM1, MaxOuterIters: 2, Workers: 4})
+	r, err := RunFlow(mustDesign(t, cfg, "aes"), FlowConfig{Arch: tech.ClosedM1, MaxOuterIters: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Final.DM1 <= r.Init.DM1 {
 		t.Errorf("dM1 did not increase: %d -> %d", r.Init.DM1, r.Final.DM1)
 	}
@@ -54,7 +67,10 @@ func TestRunFlowClosedM1(t *testing.T) {
 
 func TestRunFlowOpenM1(t *testing.T) {
 	cfg := SuiteConfig{Scale: testScale, Workers: 4}
-	r := RunFlow(cfg.design("aes"), FlowConfig{Arch: tech.OpenM1, MaxOuterIters: 2, Workers: 4})
+	r, err := RunFlow(mustDesign(t, cfg, "aes"), FlowConfig{Arch: tech.OpenM1, MaxOuterIters: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Final.DM1 <= r.Init.DM1 {
 		t.Errorf("OpenM1 dM1 did not increase: %d -> %d", r.Init.DM1, r.Final.DM1)
 	}
@@ -62,7 +78,10 @@ func TestRunFlowOpenM1(t *testing.T) {
 
 func TestFig6AlphaShape(t *testing.T) {
 	cfg := SuiteConfig{Scale: testScale, Workers: 4}
-	pts := RunFig6(cfg, tech.ClosedM1, []float64{0, 1200})
+	pts, err := RunFig6(cfg, tech.ClosedM1, []float64{0, 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 2 {
 		t.Fatal("wrong point count")
 	}
@@ -78,7 +97,10 @@ func TestFig6AlphaShape(t *testing.T) {
 
 func TestFig5Runs(t *testing.T) {
 	cfg := SuiteConfig{Scale: testScale, Workers: 4}
-	pts := RunFig5(cfg, []float64{10, 20}, [][2]int{{3, 1}})
+	pts, err := RunFig5(cfg, []float64{10, 20}, [][2]int{{3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 2 {
 		t.Fatal("wrong point count")
 	}
@@ -97,8 +119,14 @@ func TestFlowParallelMatchesSequential(t *testing.T) {
 	// so RWL is only checked to a loose band, not for equality.
 	windows := []float64{10, 20}
 	perts := [][2]int{{3, 1}}
-	seq := RunFig5(SuiteConfig{Scale: testScale, Workers: 1}, windows, perts)
-	par := RunFig5(SuiteConfig{Scale: testScale, Workers: 1, FlowParallel: 2}, windows, perts)
+	seq, err := RunFig5(SuiteConfig{Scale: testScale, Workers: 1}, windows, perts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunFig5(SuiteConfig{Scale: testScale, Workers: 1, FlowParallel: 2}, windows, perts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(seq) != len(par) {
 		t.Fatalf("point counts differ: %d vs %d", len(seq), len(par))
 	}
@@ -119,7 +147,10 @@ func TestFlowParallelMatchesSequential(t *testing.T) {
 
 func TestFig8Runs(t *testing.T) {
 	cfg := SuiteConfig{Scale: testScale, Workers: 4}
-	pts := RunFig8(cfg, []float64{0.75})
+	pts, err := RunFig8(cfg, []float64{0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 1 {
 		t.Fatal("wrong point count")
 	}
@@ -132,8 +163,11 @@ func TestFig8Runs(t *testing.T) {
 
 func TestTimingAwareFlow(t *testing.T) {
 	cfg := SuiteConfig{Scale: testScale, Workers: 4}
-	r := RunTimingAwareFlow(cfg.design("aes"),
+	r, err := RunTimingAwareFlow(mustDesign(t, cfg, "aes"),
 		FlowConfig{Arch: tech.ClosedM1, MaxOuterIters: 1, Workers: 4}, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Final.DM1 <= 0 {
 		t.Errorf("timing-aware flow produced no dM1: %+v", r.Final)
 	}
@@ -145,7 +179,7 @@ func TestTimingAwareFlow(t *testing.T) {
 
 func TestTimingAwareBetas(t *testing.T) {
 	cfg := SuiteConfig{Scale: testScale, Workers: 4}
-	betas, err := TimingAwareBetas(cfg.design("aes"), tech.ClosedM1, 0.75, 2.0)
+	betas, err := TimingAwareBetas(mustDesign(t, cfg, "aes"), tech.ClosedM1, 0.75, 2.0)
 	if err != nil {
 		t.Fatal(err)
 	}

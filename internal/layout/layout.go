@@ -9,6 +9,7 @@
 package layout
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -17,6 +18,10 @@ import (
 	"vm1place/internal/netlist"
 	"vm1place/internal/tech"
 )
+
+// ErrBadUtilization reports a floorplan utilization outside (0, 1].
+// NewFloorplan wraps it, so callers can errors.Is against it.
+var ErrBadUtilization = errors.New("layout: utilization out of (0,1]")
 
 // Placement binds a design to a floorplan and holds the current location of
 // every instance.
@@ -39,10 +44,12 @@ type Placement struct {
 
 // NewFloorplan creates an unplaced Placement whose die accommodates the
 // design at the given utilization with a near-square aspect ratio. All
-// instances start at site 0, row 0 (call a placer or SpreadEven next).
-func NewFloorplan(t *tech.Tech, d *netlist.Design, util float64) *Placement {
+// instances start at site 0, row 0 (call a placer or SpreadEven next). A
+// utilization outside (0, 1] is reported as an error wrapping
+// ErrBadUtilization.
+func NewFloorplan(t *tech.Tech, d *netlist.Design, util float64) (*Placement, error) {
 	if util <= 0 || util > 1 {
-		panic(fmt.Sprintf("layout: utilization %f out of (0,1]", util))
+		return nil, fmt.Errorf("%w: %f", ErrBadUtilization, util)
 	}
 	var totalSites int64
 	for i := range d.Insts {
@@ -72,6 +79,16 @@ func NewFloorplan(t *tech.Tech, d *netlist.Design, util float64) *Placement {
 		Flip:     make([]bool, len(d.Insts)),
 	}
 	p.resolvePorts()
+	return p, nil
+}
+
+// MustNewFloorplan is NewFloorplan panicking on error; for tests and
+// examples where the utilization is a compile-time constant.
+func MustNewFloorplan(t *tech.Tech, d *netlist.Design, util float64) *Placement {
+	p, err := NewFloorplan(t, d, util)
+	if err != nil {
+		panic(err) // panic-ok: Must* wrapper
+	}
 	return p
 }
 
@@ -216,7 +233,9 @@ func (p *Placement) SpreadEven() {
 			site = 0
 			row++
 			if row >= p.NumRows {
-				panic("layout: SpreadEven overflowed die")
+				// NewFloorplan sizes the die to hold the design at any legal
+				// utilization, so overflow here is a corrupted placement.
+				panic("layout: SpreadEven overflowed die") // panic-ok: invariant
 			}
 		}
 		p.SetLoc(i, site, row, false)

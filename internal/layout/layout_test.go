@@ -1,6 +1,7 @@
 package layout
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -14,14 +15,14 @@ import (
 func smallDesign(t *testing.T, arch tech.Arch, n int, seed int64) (*tech.Tech, *netlist.Design) {
 	t.Helper()
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, arch)
-	return tc, netlist.Generate(lib, netlist.DefaultGenConfig("t", n, seed))
+	lib := cells.MustNewLibrary(tc, arch)
+	return tc, netlist.MustGenerate(lib, netlist.DefaultGenConfig("t", n, seed))
 }
 
 func TestFloorplanUtilization(t *testing.T) {
 	tc, d := smallDesign(t, tech.ClosedM1, 1000, 1)
 	for _, util := range []float64{0.5, 0.75, 0.9} {
-		p := NewFloorplan(tc, d, util)
+		p := MustNewFloorplan(tc, d, util)
 		got := p.Utilization()
 		if got > util+1e-9 {
 			t.Errorf("util %f: placement util %f exceeds target", util, got)
@@ -37,23 +38,22 @@ func TestFloorplanUtilization(t *testing.T) {
 	}
 }
 
-func TestFloorplanPanicsOnBadUtil(t *testing.T) {
+func TestFloorplanRejectsBadUtil(t *testing.T) {
 	tc, d := smallDesign(t, tech.ClosedM1, 100, 1)
 	for _, u := range []float64{0, -0.5, 1.5} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("util %f: expected panic", u)
-				}
-			}()
-			NewFloorplan(tc, d, u)
-		}()
+		p, err := NewFloorplan(tc, d, u)
+		if !errors.Is(err, ErrBadUtilization) {
+			t.Errorf("util %f: want ErrBadUtilization, got %v", u, err)
+		}
+		if p != nil {
+			t.Errorf("util %f: got non-nil placement alongside error", u)
+		}
 	}
 }
 
 func TestSpreadEvenLegal(t *testing.T) {
 	tc, d := smallDesign(t, tech.ClosedM1, 1200, 2)
-	p := NewFloorplan(tc, d, 0.75)
+	p := MustNewFloorplan(tc, d, 0.75)
 	p.SpreadEven()
 	if err := p.CheckLegal(); err != nil {
 		t.Fatalf("SpreadEven illegal: %v", err)
@@ -62,7 +62,7 @@ func TestSpreadEvenLegal(t *testing.T) {
 
 func TestCheckLegalDetectsOverlap(t *testing.T) {
 	tc, d := smallDesign(t, tech.ClosedM1, 100, 3)
-	p := NewFloorplan(tc, d, 0.75)
+	p := MustNewFloorplan(tc, d, 0.75)
 	p.SpreadEven()
 	// Force two instances onto the same sites.
 	p.SetLoc(1, p.SiteX[0], p.Row[0], false)
@@ -73,7 +73,7 @@ func TestCheckLegalDetectsOverlap(t *testing.T) {
 
 func TestCheckLegalDetectsOutOfDie(t *testing.T) {
 	tc, d := smallDesign(t, tech.ClosedM1, 100, 3)
-	p := NewFloorplan(tc, d, 0.75)
+	p := MustNewFloorplan(tc, d, 0.75)
 	p.SpreadEven()
 	p.SetLoc(0, p.NumSites-1, 0, false) // width >= 2 overflows
 	if p.CheckLegal() == nil {
@@ -88,7 +88,7 @@ func TestCheckLegalDetectsOutOfDie(t *testing.T) {
 
 func TestInstRect(t *testing.T) {
 	tc, d := smallDesign(t, tech.ClosedM1, 100, 4)
-	p := NewFloorplan(tc, d, 0.75)
+	p := MustNewFloorplan(tc, d, 0.75)
 	p.SetLoc(0, 3, 2, false)
 	r := p.InstRect(0)
 	w := d.Insts[0].Master.WidthDBU(tc)
@@ -100,7 +100,7 @@ func TestInstRect(t *testing.T) {
 
 func TestPinPosTracksFlip(t *testing.T) {
 	tc, d := smallDesign(t, tech.ClosedM1, 100, 5)
-	p := NewFloorplan(tc, d, 0.75)
+	p := MustNewFloorplan(tc, d, 0.75)
 	p.SpreadEven()
 	// Find a connection whose pin is off-center so flipping moves it.
 	var c netlist.Conn
@@ -138,7 +138,7 @@ func TestPinPosTracksFlip(t *testing.T) {
 
 func TestHPWLManual(t *testing.T) {
 	tc, d := smallDesign(t, tech.ClosedM1, 100, 6)
-	p := NewFloorplan(tc, d, 0.75)
+	p := MustNewFloorplan(tc, d, 0.75)
 	p.SpreadEven()
 	// HPWL of every net must equal a brute-force bbox over endpoints.
 	for ni := range d.Nets {
@@ -189,7 +189,7 @@ func minOf(v []int64) int64 {
 
 func TestTotalHPWLAdditive(t *testing.T) {
 	tc, d := smallDesign(t, tech.ClosedM1, 300, 7)
-	p := NewFloorplan(tc, d, 0.75)
+	p := MustNewFloorplan(tc, d, 0.75)
 	p.SpreadEven()
 	var sum int64
 	for ni := range d.Nets {
@@ -207,7 +207,7 @@ func TestTotalHPWLAdditive(t *testing.T) {
 
 func TestCloneIndependence(t *testing.T) {
 	tc, d := smallDesign(t, tech.ClosedM1, 200, 8)
-	p := NewFloorplan(tc, d, 0.75)
+	p := MustNewFloorplan(tc, d, 0.75)
 	p.SpreadEven()
 	q := p.Clone()
 	q.SetLoc(0, p.SiteX[0]+1, p.Row[0], !p.Flip[0])
@@ -222,7 +222,7 @@ func TestCloneIndependence(t *testing.T) {
 
 func TestOccupancyPlaceRemove(t *testing.T) {
 	tc, d := smallDesign(t, tech.ClosedM1, 50, 9)
-	p := NewFloorplan(tc, d, 0.5)
+	p := MustNewFloorplan(tc, d, 0.5)
 	p.SpreadEven()
 	occ := NewOccupancy(p)
 	if err := occ.Place(0); err != nil {
@@ -245,7 +245,7 @@ func TestOccupancyPlaceRemove(t *testing.T) {
 
 func TestOccupancyFreeRun(t *testing.T) {
 	tc, d := smallDesign(t, tech.ClosedM1, 50, 10)
-	p := NewFloorplan(tc, d, 0.5)
+	p := MustNewFloorplan(tc, d, 0.5)
 	p.SpreadEven()
 	occ := NewOccupancy(p)
 	w0 := d.Insts[0].Master.WidthSites
@@ -269,7 +269,7 @@ func TestOccupancyFreeRun(t *testing.T) {
 
 func TestPortsOnBoundary(t *testing.T) {
 	tc, d := smallDesign(t, tech.OpenM1, 400, 11)
-	p := NewFloorplan(tc, d, 0.75)
+	p := MustNewFloorplan(tc, d, 0.75)
 	w, h := p.DieWidth(), p.DieHeight()
 	for i, pt := range p.PortXY {
 		onEdge := pt.X == 0 || pt.X == w || pt.Y == 0 || pt.Y == h
@@ -286,7 +286,7 @@ func TestPortsOnBoundary(t *testing.T) {
 // to it (locality of the HPWL model).
 func TestHPWLLocalityQuick(t *testing.T) {
 	tc, d := smallDesign(t, tech.ClosedM1, 150, 12)
-	p := NewFloorplan(tc, d, 0.6)
+	p := MustNewFloorplan(tc, d, 0.6)
 	p.SpreadEven()
 	touched := func(inst int) map[int]bool {
 		m := map[int]bool{}
@@ -326,8 +326,8 @@ func TestHPWLLocalityQuick(t *testing.T) {
 func TestFloorplanScalesWithN(t *testing.T) {
 	tc, d1 := smallDesign(t, tech.ClosedM1, 200, 13)
 	_, d2 := smallDesign(t, tech.ClosedM1, 800, 13)
-	p1 := NewFloorplan(tc, d1, 0.75)
-	p2 := NewFloorplan(tc, d2, 0.75)
+	p1 := MustNewFloorplan(tc, d1, 0.75)
+	p2 := MustNewFloorplan(tc, d2, 0.75)
 	a1 := float64(p1.DieWidth()) * float64(p1.DieHeight())
 	a2 := float64(p2.DieWidth()) * float64(p2.DieHeight())
 	if ratio := a2 / a1; math.Abs(ratio-4) > 1.5 {

@@ -15,9 +15,9 @@ import (
 func buildPlaced(t *testing.T, arch tech.Arch, n int) (*tech.Tech, *cells.Library, *layout.Placement) {
 	t.Helper()
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, arch)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("io", n, 71))
-	p := layout.NewFloorplan(tc, d, 0.7)
+	lib := cells.MustNewLibrary(tc, arch)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("io", n, 71))
+	p := layout.MustNewFloorplan(tc, d, 0.7)
 	if err := place.Global(p, place.Options{}); err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func buildPlaced(t *testing.T, arch tech.Arch, n int) (*tech.Tech, *cells.Librar
 func TestLEFRoundTrip(t *testing.T) {
 	for _, arch := range []tech.Arch{tech.ClosedM1, tech.OpenM1} {
 		tc := tech.Default()
-		lib := cells.NewLibrary(tc, arch)
+		lib := cells.MustNewLibrary(tc, arch)
 		var buf bytes.Buffer
 		if err := WriteLEF(&buf, lib); err != nil {
 			t.Fatal(err)
@@ -138,7 +138,7 @@ func TestDEFRoundTripOpenM1(t *testing.T) {
 
 func TestParseDEFErrors(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
 	cases := []string{
 		"",                              // empty
 		"DESIGN x ;\nEND DESIGN\n",      // no die
@@ -162,7 +162,7 @@ func TestParseLEFErrors(t *testing.T) {
 
 func TestLEFContainsExpectedSections(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
 	var buf bytes.Buffer
 	if err := WriteLEF(&buf, lib); err != nil {
 		t.Fatal(err)

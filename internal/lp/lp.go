@@ -121,7 +121,7 @@ func (m *Model) NumRows() int { return len(m.rhs) }
 // obj, returning its index. Use math.Inf for unbounded sides.
 func (m *Model) AddVar(lo, hi, obj float64, name string) int {
 	if lo > hi {
-		panic(fmt.Sprintf("lp: variable %q has lo %g > hi %g", name, lo, hi))
+		panic(fmt.Sprintf("lp: variable %q has lo %g > hi %g", name, lo, hi)) // panic-ok: invariant
 	}
 	m.obj = append(m.obj, obj)
 	m.lo = append(m.lo, lo)
@@ -154,7 +154,7 @@ func (m *Model) AddRow(sense Sense, rhs float64, terms ...Term) int {
 	merged := map[int]float64{}
 	for _, t := range terms {
 		if t.Var < 0 || t.Var >= len(m.obj) {
-			panic(fmt.Sprintf("lp: row %d references unknown variable %d", r, t.Var))
+			panic(fmt.Sprintf("lp: row %d references unknown variable %d", r, t.Var)) // panic-ok: invariant
 		}
 		merged[t.Var] += t.Coef
 	}
@@ -213,10 +213,10 @@ func (m *Model) SolveWithScratch(lo, hi, hint []float64, a *Arena) *Solution {
 		hi = m.hi
 	}
 	if len(lo) != len(m.obj) || len(hi) != len(m.obj) {
-		panic("lp: bound override length mismatch")
+		panic("lp: bound override length mismatch") // panic-ok: invariant
 	}
 	if hint != nil && len(hint) != len(m.obj) {
-		panic("lp: hint length mismatch")
+		panic("lp: hint length mismatch") // panic-ok: invariant
 	}
 	if a == nil {
 		a = NewArena()

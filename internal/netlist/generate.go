@@ -1,12 +1,17 @@
 package netlist
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"vm1place/internal/cells"
 )
+
+// ErrBadGenConfig reports an unusable generator configuration. Generate
+// wraps it, so callers can errors.Is against it.
+var ErrBadGenConfig = errors.New("netlist: bad generator config")
 
 // GenConfig parameterizes the synthetic netlist generator. The generator
 // stands in for Design Compiler + the OpenCores RTL of the paper: it
@@ -62,10 +67,12 @@ var combMix = []struct {
 
 // Generate builds a synthetic design over lib according to cfg. The result
 // always validates and is combinationally acyclic (combinational fanins
-// come from lower-index combinational gates or from flip-flop outputs).
-func Generate(lib *cells.Library, cfg GenConfig) *Design {
+// come from lower-index combinational gates or from flip-flop outputs). A
+// config too small to generate from is reported as an error wrapping
+// ErrBadGenConfig.
+func Generate(lib *cells.Library, cfg GenConfig) (*Design, error) {
 	if cfg.NumInsts < 4 {
-		panic("netlist: NumInsts must be >= 4")
+		return nil, fmt.Errorf("%w: NumInsts %d, must be >= 4", ErrBadGenConfig, cfg.NumInsts)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	d := &Design{Name: cfg.Name, Lib: lib}
@@ -219,7 +226,17 @@ func Generate(lib *cells.Library, cfg GenConfig) *Design {
 	}
 
 	if err := d.Validate(); err != nil {
-		panic(fmt.Sprintf("netlist: generated design invalid: %v", err))
+		return nil, fmt.Errorf("netlist: generated design invalid: %w", err)
+	}
+	return d, nil
+}
+
+// MustGenerate is Generate panicking on error; for tests and examples with
+// known-good configs.
+func MustGenerate(lib *cells.Library, cfg GenConfig) *Design {
+	d, err := Generate(lib, cfg)
+	if err != nil {
+		panic(err) // panic-ok: Must* wrapper
 	}
 	return d
 }
@@ -230,5 +247,7 @@ func pinIndex(m *cells.Master, p *cells.Pin) int {
 			return i
 		}
 	}
-	panic("netlist: pin not in master")
+	// Masters always contain their own pins; reaching here means the
+	// caller passed a pin from a different master.
+	panic("netlist: pin not in master") // panic-ok: invariant
 }

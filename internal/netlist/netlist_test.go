@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"errors"
 	"testing"
 
 	"vm1place/internal/cells"
@@ -9,13 +10,13 @@ import (
 
 func testLib(t *testing.T, arch tech.Arch) *cells.Library {
 	t.Helper()
-	return cells.NewLibrary(tech.Default(), arch)
+	return cells.MustNewLibrary(tech.Default(), arch)
 }
 
 func TestGenerateValidates(t *testing.T) {
 	for _, arch := range []tech.Arch{tech.ClosedM1, tech.OpenM1} {
 		lib := testLib(t, arch)
-		d := Generate(lib, DefaultGenConfig("t1", 500, 42))
+		d := MustGenerate(lib, DefaultGenConfig("t1", 500, 42))
 		if err := d.Validate(); err != nil {
 			t.Fatalf("%s: %v", arch, err)
 		}
@@ -27,8 +28,8 @@ func TestGenerateValidates(t *testing.T) {
 
 func TestGenerateDeterministic(t *testing.T) {
 	lib := testLib(t, tech.ClosedM1)
-	a := Generate(lib, DefaultGenConfig("x", 300, 7))
-	b := Generate(lib, DefaultGenConfig("x", 300, 7))
+	a := MustGenerate(lib, DefaultGenConfig("x", 300, 7))
+	b := MustGenerate(lib, DefaultGenConfig("x", 300, 7))
 	if len(a.Nets) != len(b.Nets) || len(a.Ports) != len(b.Ports) {
 		t.Fatal("same seed produced different shapes")
 	}
@@ -42,7 +43,7 @@ func TestGenerateDeterministic(t *testing.T) {
 			}
 		}
 	}
-	c := Generate(lib, DefaultGenConfig("x", 300, 8))
+	c := MustGenerate(lib, DefaultGenConfig("x", 300, 8))
 	same := true
 	for i := range a.Insts {
 		if a.Insts[i].Master.Name != c.Insts[i].Master.Name {
@@ -58,7 +59,7 @@ func TestGenerateDeterministic(t *testing.T) {
 func TestGenerateStats(t *testing.T) {
 	lib := testLib(t, tech.ClosedM1)
 	cfg := DefaultGenConfig("s", 2000, 1)
-	d := Generate(lib, cfg)
+	d := MustGenerate(lib, cfg)
 	s := d.Stats()
 	if s.NumInsts != 2000 {
 		t.Errorf("NumInsts = %d", s.NumInsts)
@@ -80,7 +81,7 @@ func TestGenerateStats(t *testing.T) {
 
 func TestCombinationalAcyclicity(t *testing.T) {
 	lib := testLib(t, tech.ClosedM1)
-	d := Generate(lib, DefaultGenConfig("dag", 1500, 3))
+	d := MustGenerate(lib, DefaultGenConfig("dag", 1500, 3))
 	// Every combinational instance's fanins must come from strictly
 	// lower-index combinational instances, FFs, or ports.
 	for i := range d.Insts {
@@ -105,7 +106,7 @@ func TestCombinationalAcyclicity(t *testing.T) {
 
 func TestClockNetOnlyFFs(t *testing.T) {
 	lib := testLib(t, tech.ClosedM1)
-	d := Generate(lib, DefaultGenConfig("clk", 800, 9))
+	d := MustGenerate(lib, DefaultGenConfig("clk", 800, 9))
 	var clock *Net
 	for i := range d.Nets {
 		if d.Nets[i].IsClock {
@@ -132,7 +133,7 @@ func TestClockNetOnlyFFs(t *testing.T) {
 
 func TestNoDanglingNets(t *testing.T) {
 	lib := testLib(t, tech.OpenM1)
-	d := Generate(lib, DefaultGenConfig("dangle", 600, 11))
+	d := MustGenerate(lib, DefaultGenConfig("dangle", 600, 11))
 	portNets := map[int]bool{}
 	for _, p := range d.Ports {
 		portNets[p.Net] = true
@@ -150,7 +151,7 @@ func TestNoDanglingNets(t *testing.T) {
 
 func TestSignalNetsExcludesClock(t *testing.T) {
 	lib := testLib(t, tech.ClosedM1)
-	d := Generate(lib, DefaultGenConfig("sn", 400, 5))
+	d := MustGenerate(lib, DefaultGenConfig("sn", 400, 5))
 	for _, ni := range d.SignalNets() {
 		if d.Nets[ni].IsClock {
 			t.Fatal("SignalNets returned the clock net")
@@ -179,7 +180,7 @@ func TestNetForEachConn(t *testing.T) {
 
 func TestValidateCatchesCorruption(t *testing.T) {
 	lib := testLib(t, tech.ClosedM1)
-	base := func() *Design { return Generate(lib, DefaultGenConfig("v", 100, 2)) }
+	base := func() *Design { return MustGenerate(lib, DefaultGenConfig("v", 100, 2)) }
 
 	d := base()
 	d.Nets[1].Sinks = append(d.Nets[1].Sinks, Conn{Inst: 10_000, Pin: 0})
@@ -202,12 +203,13 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	}
 }
 
-func TestGeneratePanicsOnTinyN(t *testing.T) {
+func TestGenerateRejectsTinyN(t *testing.T) {
 	lib := testLib(t, tech.ClosedM1)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for NumInsts < 4")
-		}
-	}()
-	Generate(lib, DefaultGenConfig("tiny", 2, 1))
+	d, err := Generate(lib, DefaultGenConfig("tiny", 2, 1))
+	if !errors.Is(err, ErrBadGenConfig) {
+		t.Errorf("want ErrBadGenConfig for NumInsts < 4, got %v", err)
+	}
+	if d != nil {
+		t.Error("got non-nil design alongside error")
+	}
 }

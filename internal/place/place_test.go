@@ -13,9 +13,9 @@ import (
 func mkPlacement(t *testing.T, n int, util float64, seed int64) *layout.Placement {
 	t.Helper()
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("p", n, seed))
-	return layout.NewFloorplan(tc, d, util)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("p", n, seed))
+	return layout.MustNewFloorplan(tc, d, util)
 }
 
 func TestGlobalProducesLegalPlacement(t *testing.T) {
@@ -122,9 +122,9 @@ func TestLegalizeRespectsDesiredPositions(t *testing.T) {
 
 func TestLegalizeOverflowErrors(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("of", 50, 26))
-	p := layout.NewFloorplan(tc, d, 0.5)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("of", 50, 26))
+	p := layout.MustNewFloorplan(tc, d, 0.5)
 	// Shrink the die so the design cannot fit.
 	p.NumRows = 1
 	p.NumSites = 10

@@ -19,6 +19,7 @@
 package route
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -90,10 +91,13 @@ func (r *Router) colorBatches(nets []int) [][]int {
 }
 
 // routeBatched routes the given nets (already in deterministic order)
-// through the batch schedule with congestion weight cw.
-func (r *Router) routeBatched(nets []int, cw float64) {
+// through the batch schedule with congestion weight cw. Cancellation is
+// checked between batches and between cleanup nets — the points where all
+// in-flight work has been committed — so an early return leaves every
+// committed net fully routed and the usage arrays consistent.
+func (r *Router) routeBatched(ctx context.Context, nets []int, cw float64) error {
 	if len(nets) == 0 {
-		return
+		return nil
 	}
 	r.rebuildEdgeCosts(cw)
 	workers := r.workerCount()
@@ -101,6 +105,9 @@ func (r *Router) routeBatched(nets []int, cw float64) {
 
 	var deferred []int
 	for _, batch := range r.colorBatches(nets) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		w := workers
 		if w > len(batch) {
 			w = len(batch)
@@ -156,7 +163,11 @@ func (r *Router) routeBatched(nets []int, cw float64) {
 	full := region{xlo: 0, ylo: 0, xhi: r.nx - 1, yhi: r.ny - 1}
 	s := r.searchers[0]
 	for _, ni := range deferred {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		nr, _ := s.routeNet(ni, full, false)
 		r.routes[ni] = nr
 	}
+	return nil
 }

@@ -14,9 +14,9 @@ import (
 func genPlaced(t *testing.T, arch tech.Arch, name string, n int, seed int64, util float64) *layout.Placement {
 	t.Helper()
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, arch)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig(name, n, seed))
-	p := layout.NewFloorplan(tc, d, util)
+	lib := cells.MustNewLibrary(tc, arch)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig(name, n, seed))
+	p := layout.MustNewFloorplan(tc, d, util)
 	if err := place.Global(p, place.Options{}); err != nil {
 		t.Fatal(err)
 	}

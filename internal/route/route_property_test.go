@@ -13,9 +13,9 @@ import (
 // TestUsageRoundTrip: adding and removing a path's usage restores zero.
 func TestUsageRoundTrip(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("u", 300, 81))
-	p := layout.NewFloorplan(tc, d, 0.7)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("u", 300, 81))
+	p := layout.MustNewFloorplan(tc, d, 0.7)
 	if err := place.Global(p, place.Options{}); err != nil {
 		t.Fatal(err)
 	}
@@ -38,9 +38,9 @@ func TestUsageRoundTrip(t *testing.T) {
 // nodes (same-layer steps of one cell, or vias).
 func TestPathsAreConnected(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.OpenM1)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("c", 300, 82))
-	p := layout.NewFloorplan(tc, d, 0.7)
+	lib := cells.MustNewLibrary(tc, tech.OpenM1)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("c", 300, 82))
+	p := layout.MustNewFloorplan(tc, d, 0.7)
 	if err := place.Global(p, place.Options{}); err != nil {
 		t.Fatal(err)
 	}
@@ -87,9 +87,9 @@ func TestPathsAreConnected(t *testing.T) {
 // stays on one M1 track.
 func TestDM1PathsRespectGamma(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("g", 400, 83))
-	p := layout.NewFloorplan(tc, d, 0.7)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("g", 400, 83))
+	p := layout.MustNewFloorplan(tc, d, 0.7)
 	if err := place.Global(p, place.Options{}); err != nil {
 		t.Fatal(err)
 	}
@@ -129,9 +129,9 @@ func TestDM1PathsRespectGamma(t *testing.T) {
 // node blocked by another net's pin.
 func TestBlockedM1NeverTraversedByForeignNets(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("b", 400, 84))
-	p := layout.NewFloorplan(tc, d, 0.7)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("b", 400, 84))
+	p := layout.MustNewFloorplan(tc, d, 0.7)
 	if err := place.Global(p, place.Options{}); err != nil {
 		t.Fatal(err)
 	}
@@ -158,9 +158,9 @@ func TestBlockedM1NeverTraversedByForeignNets(t *testing.T) {
 // increase the overflow metric.
 func TestHigherCapacityLowersOverflow(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("o", 600, 85))
-	p := layout.NewFloorplan(tc, d, 0.84)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("o", 600, 85))
+	p := layout.MustNewFloorplan(tc, d, 0.84)
 	if err := place.Global(p, place.Options{}); err != nil {
 		t.Fatal(err)
 	}

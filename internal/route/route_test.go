@@ -108,13 +108,13 @@ func (m *manual) tieOff() {
 func mkClosedPair(t *testing.T) (*layout.Placement, *Router, int) {
 	t.Helper()
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
 	m := newManual(lib)
 	u0 := m.addInst("INV_X1")
 	u1 := m.addInst("INV_X1")
 	ni := m.connect(u0, "ZN", [2]interface{}{u1, "A"})
 	m.tieOff()
-	p := layout.NewFloorplan(tc, m.d, 0.05)
+	p := layout.MustNewFloorplan(tc, m.d, 0.05)
 	p.SpreadEven()
 	r := New(p, DefaultConfig(tc, tech.ClosedM1))
 	_ = u0
@@ -185,7 +185,7 @@ func TestClosedM1FlipEnablesAlignment(t *testing.T) {
 
 func TestClosedM1BlockedTrackPreventsDM1(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
 	m := newManual(lib)
 	u0 := m.addInst("INV_X1")
 	u1 := m.addInst("INV_X1")
@@ -194,7 +194,7 @@ func TestClosedM1BlockedTrackPreventsDM1(t *testing.T) {
 	m.connect(u0, "ZN", [2]interface{}{u1, "A"})
 	m.connect(u2, "ZN", [2]interface{}{u3, "A"})
 	m.tieOff()
-	p := layout.NewFloorplan(tc, m.d, 0.1)
+	p := layout.MustNewFloorplan(tc, m.d, 0.1)
 	p.SpreadEven()
 	// u0 row0 site0 (ZN at site 1), u1 row2 site1 (A at site 1): span 2,
 	// would be dM1 via track 1 through row 1...
@@ -222,13 +222,13 @@ func TestClosedM1BlockedTrackPreventsDM1(t *testing.T) {
 
 func TestOpenM1OverlapGetsDM1(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.OpenM1)
+	lib := cells.MustNewLibrary(tc, tech.OpenM1)
 	m := newManual(lib)
 	u0 := m.addInst("INV_X1")
 	u1 := m.addInst("INV_X1")
 	m.connect(u0, "ZN", [2]interface{}{u1, "A"})
 	m.tieOff()
-	p := layout.NewFloorplan(tc, m.d, 0.1)
+	p := layout.MustNewFloorplan(tc, m.d, 0.1)
 	p.SpreadEven()
 	// OpenM1 INV_X1 (width 2 sites = 200 dbu): A spans [10,150] locally,
 	// ZN spans [10,190]. Placing both at site 0 in adjacent rows makes the
@@ -247,13 +247,13 @@ func TestOpenM1OverlapGetsDM1(t *testing.T) {
 
 func TestOpenM1DisjointNoDM1(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.OpenM1)
+	lib := cells.MustNewLibrary(tc, tech.OpenM1)
 	m := newManual(lib)
 	u0 := m.addInst("INV_X1")
 	u1 := m.addInst("INV_X1")
 	m.connect(u0, "ZN", [2]interface{}{u1, "A"})
 	m.tieOff()
-	p := layout.NewFloorplan(tc, m.d, 0.1)
+	p := layout.MustNewFloorplan(tc, m.d, 0.1)
 	p.SpreadEven()
 	// Far apart horizontally: no overlap -> no dM1.
 	p.SetLoc(u0, 0, 0, false)
@@ -270,9 +270,9 @@ func TestOpenM1DisjointNoDM1(t *testing.T) {
 
 func TestConventionalNoM1Routing(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.Conventional)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("conv", 300, 31))
-	p := layout.NewFloorplan(tc, d, 0.7)
+	lib := cells.MustNewLibrary(tc, tech.Conventional)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("conv", 300, 31))
+	p := layout.MustNewFloorplan(tc, d, 0.7)
 	if err := place.Global(p, place.Options{}); err != nil {
 		t.Fatal(err)
 	}
@@ -292,9 +292,9 @@ func TestConventionalNoM1Routing(t *testing.T) {
 func TestFullDesignRoutes(t *testing.T) {
 	for _, arch := range []tech.Arch{tech.ClosedM1, tech.OpenM1} {
 		tc := tech.Default()
-		lib := cells.NewLibrary(tc, arch)
-		d := netlist.Generate(lib, netlist.DefaultGenConfig("full", 600, 32))
-		p := layout.NewFloorplan(tc, d, 0.7)
+		lib := cells.MustNewLibrary(tc, arch)
+		d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("full", 600, 32))
+		p := layout.MustNewFloorplan(tc, d, 0.7)
 		if err := place.Global(p, place.Options{}); err != nil {
 			t.Fatal(err)
 		}
@@ -324,9 +324,9 @@ func TestFullDesignRoutes(t *testing.T) {
 
 func TestRouteDeterministic(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("det", 400, 33))
-	p := layout.NewFloorplan(tc, d, 0.7)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("det", 400, 33))
+	p := layout.MustNewFloorplan(tc, d, 0.7)
 	if err := place.Global(p, place.Options{}); err != nil {
 		t.Fatal(err)
 	}
@@ -372,9 +372,9 @@ func TestDM1AwareVsPlainRouter(t *testing.T) {
 	// Ablation: the dM1-aware cost (cheap M1) must pull more routing onto
 	// M1 than the plain cost on the same placement.
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("abl", 500, 34))
-	p := layout.NewFloorplan(tc, d, 0.7)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("abl", 500, 34))
+	p := layout.MustNewFloorplan(tc, d, 0.7)
 	if err := place.Global(p, place.Options{}); err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package route
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
 	"vm1place/internal/tech"
@@ -11,6 +13,18 @@ import (
 // final metrics. Nets are routed in conflict-free parallel batches (see
 // parallel.go); the result is identical for every cfg.Workers value.
 func (r *Router) RouteAll() Metrics {
+	m, _ := r.RouteAllCtx(context.Background())
+	return m
+}
+
+// RouteAllCtx is RouteAll under a context. Cancellation is checked at the
+// router's commit boundaries — between batches, between sequential cleanup
+// nets, and between rip-up passes — so when it returns early the usage
+// arrays and route records agree: every committed net is fully routed and
+// accounted, every uncommitted net is absent. The returned Metrics are
+// computed from the committed routes, alongside an error wrapping
+// ctx.Err().
+func (r *Router) RouteAllCtx(ctx context.Context) (Metrics, error) {
 	// Reset state.
 	for l := tech.M1; l <= tech.M4; l++ {
 		for i := range r.usage[l] {
@@ -38,7 +52,9 @@ func (r *Router) RouteAll() Metrics {
 		return r.hpwlKey[nets[a]] < r.hpwlKey[nets[b]]
 	})
 
-	r.routeBatched(nets, r.cfg.CongWeight)
+	if err := r.routeBatched(ctx, nets, r.cfg.CongWeight); err != nil {
+		return r.finishMetrics(), fmt.Errorf("route: RouteAll interrupted: %w", err)
+	}
 
 	// Negotiated-congestion rip-up: nets crossing overflowed edges are
 	// rerouted with a stiffer congestion penalty.
@@ -47,14 +63,28 @@ func (r *Router) RouteAll() Metrics {
 		if r.totalOverflow() == 0 {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			return r.finishMetrics(), fmt.Errorf("route: RouteAll interrupted: %w", err)
+		}
 		cw *= 2
 		victims := r.overflowVictims(nets)
 		for _, ni := range victims {
 			r.ripNet(ni)
 		}
-		r.routeBatched(victims, cw)
+		if err := r.routeBatched(ctx, victims, cw); err != nil {
+			return r.finishMetrics(), fmt.Errorf("route: RouteAll interrupted: %w", err)
+		}
 	}
 
+	return r.finishMetrics(), nil
+}
+
+// finishMetrics folds the searchers' failure counts into the metrics and
+// derives the final Metrics from whatever routes are committed. It is the
+// common tail of complete and interrupted RouteAllCtx runs: ripNet keeps
+// usage and route records consistent, so partial metrics are exact over
+// the committed subset.
+func (r *Router) finishMetrics() Metrics {
 	for _, s := range r.searchers {
 		r.metrics.FailedConns += s.failedConns
 	}

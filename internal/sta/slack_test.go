@@ -14,9 +14,9 @@ import (
 func slackFixture(t *testing.T, n int, seed int64) (*layout.Placement, Config) {
 	t.Helper()
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("slk", n, seed))
-	p := layout.NewFloorplan(tc, d, 0.75)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("slk", n, seed))
+	p := layout.MustNewFloorplan(tc, d, 0.75)
 	if err := place.Global(p, place.Options{}); err != nil {
 		t.Fatal(err)
 	}

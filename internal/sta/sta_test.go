@@ -13,9 +13,9 @@ import (
 func analyzedDesign(t *testing.T, n int, seed int64) (*layout.Placement, Report) {
 	t.Helper()
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("sta", n, seed))
-	p := layout.NewFloorplan(tc, d, 0.75)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("sta", n, seed))
+	p := layout.MustNewFloorplan(tc, d, 0.75)
 	if err := place.Global(p, place.Options{}); err != nil {
 		t.Fatal(err)
 	}
@@ -43,9 +43,9 @@ func TestAnalyzeBasics(t *testing.T) {
 
 func TestWNSZeroWhenMet(t *testing.T) {
 	tc := tech.Default()
-	lib := cells.NewLibrary(tc, tech.ClosedM1)
-	d := netlist.Generate(lib, netlist.DefaultGenConfig("wns", 300, 42))
-	p := layout.NewFloorplan(tc, d, 0.75)
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
+	d := netlist.MustGenerate(lib, netlist.DefaultGenConfig("wns", 300, 42))
+	p := layout.MustNewFloorplan(tc, d, 0.75)
 	if err := place.Global(p, place.Options{}); err != nil {
 		t.Fatal(err)
 	}
