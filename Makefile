@@ -3,33 +3,30 @@
 
 GO ?= go
 
-.PHONY: check vet panic-guard test race bench-smoke bench-json bench-core bench-route
+.PHONY: check vet lint test race bench-smoke bench-json bench-core bench-route
 
-check: vet panic-guard test race bench-smoke
+check: vet lint test race bench-smoke
 
 vet:
 	$(GO) vet ./...
 
-# Library code must return errors, not crash the process: the only panics
-# allowed under internal/ are Must* wrappers and unreachable-invariant
-# checks, both tagged with a `// panic-ok:` marker, and os.Exit belongs to
-# the cmd/ edges. Anything else fails the gate.
-panic-guard:
-	@bad=$$(grep -rn --include='*.go' --exclude='*_test.go' -E 'panic\(|os\.Exit' internal/ | grep -v 'panic-ok' || true); \
-	if [ -n "$$bad" ]; then \
-		echo "panic-guard: untagged panic/os.Exit in library code:"; \
-		echo "$$bad"; \
-		exit 1; \
-	fi
+# vm1lint is the static-invariant suite (internal/analysis): maporder,
+# panicguard, ctxflow, wrapcheck and clockrand. It subsumes the old
+# grep-based panic-guard with compiler-grade checks over the typed AST;
+# see DESIGN.md "Static invariants" for what each analyzer enforces and
+# the `// <tag>-ok: reason` suppression convention.
+lint:
+	$(GO) run ./cmd/vm1lint ./...
 
 test:
 	$(GO) build ./... && $(GO) test ./...
 
-# The race gate focuses on the packages with real concurrency (parallel
-# window solves sharing an objective tracker and per-worker LP arenas, and
-# the batched parallel router sharing live usage arrays).
+# The race gate covers the packages that own goroutines: parallel window
+# solves sharing an objective tracker and per-worker LP arenas, the
+# batched parallel router sharing live usage arrays, and the pipeline /
+# parallel-sweep layers (flow, expt) that fan work out over them.
 race:
-	$(GO) test -race -timeout 20m ./internal/core/... ./internal/lp/... ./internal/milp/... ./internal/route/...
+	$(GO) test -race -timeout 20m ./internal/core/... ./internal/lp/... ./internal/milp/... ./internal/route/... ./internal/flow/... ./internal/expt/...
 
 # One iteration of each substrate microbenchmark — a fast sanity pass that
 # the benchmarks still build and run, not a measurement.

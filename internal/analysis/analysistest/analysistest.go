@@ -1,0 +1,169 @@
+// Package analysistest runs one analyzer over fixture packages and
+// checks its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the self-contained
+// internal/analysis framework.
+//
+// Fixture layout: srcRoot is a GOPATH-style tree whose packages live
+// under srcRoot/vm1place/..., so fixture import paths share the real
+// module's prefix and the analyzers' package-path predicates (internal/,
+// deterministic kernels, clock allowlist) apply to fixtures exactly as
+// they do to the repository.
+//
+// Expectations: a comment `// want "regexp"` (or a backquoted regexp)
+// on a line declares that the analyzer must report a diagnostic on that
+// line matching the regexp. Several expectations may share one want
+// comment. Lines carrying a suppression tag (// order-ok: ...) and no
+// want comment assert the tagged site stays silent — the driver applies
+// suppression exactly as vm1lint does.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"vm1place/internal/analysis"
+)
+
+// loaders caches one Loader per fixture root: packages are immutable
+// once type-checked, and sharing the cache keeps each test from
+// re-type-checking the stdlib from source.
+var loaders = struct {
+	sync.Mutex
+	m map[string]*analysis.Loader
+}{m: make(map[string]*analysis.Loader)}
+
+func loaderFor(t *testing.T, srcRoot string) *analysis.Loader {
+	abs, err := filepath.Abs(filepath.Join(srcRoot, "vm1place"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loaders.Lock()
+	defer loaders.Unlock()
+	if l, ok := loaders.m[abs]; ok {
+		return l
+	}
+	l := analysis.NewLoader("vm1place", abs)
+	loaders.m[abs] = l
+	return l
+}
+
+// Run loads each fixture package beneath srcRoot, applies the analyzer,
+// and reports every mismatch between its findings and the fixtures'
+// `// want` expectations as test errors.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := loaderFor(t, srcRoot)
+	var pkgs []*analysis.Package
+	for _, path := range pkgPaths {
+		rel, ok := strings.CutPrefix(path, "vm1place/")
+		if !ok {
+			t.Fatalf("analysistest: fixture package %q must be under vm1place/", path)
+		}
+		got, err := loader.Load("./" + rel)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		pkgs = append(pkgs, got...)
+	}
+
+	findings, err := analysis.Run(loader.Fset, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %s: %v", a.Name, err)
+	}
+
+	wants, err := collectWants(pkgs)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, f := range findings {
+		if !wants.match(f) {
+			t.Errorf("%s:%d: unexpected finding: %s", f.Pos.Filename, f.Pos.Line, f.Message)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ all []*want }
+
+// wantRE matches a want comment and captures its quoted expectations.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRE captures one backquoted or double-quoted string.
+var quotedRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants scans every fixture source file for want comments.
+func collectWants(pkgs []*analysis.Package) (*wantSet, error) {
+	ws := &wantSet{}
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		ents, err := os.ReadDir(pkg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			name := filepath.Join(pkg.Dir, e.Name())
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || seen[name] {
+				continue
+			}
+			seen[name] = true
+			data, err := os.ReadFile(name)
+			if err != nil {
+				return nil, err
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				m := wantRE.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					text := q[1 : len(q)-1]
+					if q[0] == '"' {
+						text = strings.NewReplacer(`\"`, `"`, `\\`, `\`).Replace(text)
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %w", name, i+1, text, err)
+					}
+					ws.all = append(ws.all, &want{file: name, line: i + 1, re: re})
+				}
+			}
+		}
+	}
+	return ws, nil
+}
+
+// match consumes the first unmatched expectation on the finding's line
+// whose regexp matches its message.
+func (ws *wantSet) match(f analysis.Finding) bool {
+	for _, w := range ws.all {
+		if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) unmatched() []*want {
+	var out []*want
+	for _, w := range ws.all {
+		if !w.matched {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vm1place/internal/analysis"
+	"vm1place/internal/analysis/analysistest"
+)
+
+// Each analyzer is exercised against fixtures holding at least one
+// caught violation and one tagged suppression, plus a package where its
+// path predicate must keep it silent.
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.MapOrderAnalyzer,
+		"vm1place/internal/core/mofix", // deterministic package: findings
+		"vm1place/internal/flow/mofix", // outside the deterministic set: silent
+	)
+}
+
+func TestPanicGuard(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.PanicGuardAnalyzer,
+		"vm1place/internal/pgfix", // library code: findings
+		"vm1place/cmd/pgfix",      // cmd edge: exits are sanctioned
+	)
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.CtxFlowAnalyzer,
+		"vm1place/internal/cxfix",
+	)
+}
+
+func TestWrapCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.WrapCheckAnalyzer,
+		"vm1place/internal/wcfix",
+	)
+}
+
+func TestClockRand(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.ClockRandAnalyzer,
+		"vm1place/internal/crfix",    // deterministic package: findings
+		"vm1place/internal/lp/crfix", // deadline-owning package: silent
+	)
+}

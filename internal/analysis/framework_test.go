@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   string
+		ok     bool
+	}{
+		{"plain", "", true},
+		{"%d items", "d", true},
+		{"%s: %v", "sv", true},
+		{"%w: %w", "ww", true},
+		{"100%% done %v", "v", true},
+		{"%+v %#v % d", "vvd", true},
+		{"%8.3f", "f", true},
+		{"%*d", "*d", true},
+		{"%[1]d", "", false}, // explicit index: bail out
+	}
+	for _, c := range cases {
+		got, ok := parseVerbs(c.format)
+		if ok != c.ok {
+			t.Errorf("parseVerbs(%q) ok = %v, want %v", c.format, ok, c.ok)
+			continue
+		}
+		if c.ok && string(got) != c.want {
+			t.Errorf("parseVerbs(%q) = %q, want %q", c.format, got, c.want)
+		}
+	}
+}
+
+func TestCollectTagsAndSuppression(t *testing.T) {
+	const src = `package p
+
+// clock-ok: tag on the line above the site
+var a = 1
+var b = 2 // order-ok: tag on the flagged line
+/*
+panic-ok: tag inside a block comment
+*/
+var c = 3
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := collectTags(fset, &Package{Files: []*ast.File{f}})
+
+	at := func(tag string, line int) bool {
+		return idx.suppressed(tag, token.Position{Filename: "p.go", Line: line})
+	}
+	checks := []struct {
+		tag  string
+		line int
+		want bool
+	}{
+		{"clock-ok", 3, true},  // on the tag line itself
+		{"clock-ok", 4, true},  // line below a tag-above comment
+		{"clock-ok", 5, false}, // two lines below: out of reach
+		{"order-ok", 5, true},  // inline tag
+		{"order-ok", 3, false}, // wrong tag does not suppress
+		{"panic-ok", 7, true},  // block-comment tag, its own line
+		{"panic-ok", 8, true},  // line below the block-comment tag line
+		{"panic-ok", 9, false}, // var c: no adjacent tag
+	}
+	for _, c := range checks {
+		if got := at(c.tag, c.line); got != c.want {
+			t.Errorf("suppressed(%s, line %d) = %v, want %v", c.tag, c.line, got, c.want)
+		}
+	}
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	root, path, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "vm1place" {
+		t.Errorf("module path = %q, want vm1place", path)
+	}
+	if root == "" {
+		t.Error("empty module root")
+	}
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicGuardAnalyzer is the AST-level replacement for the old grep-based
+// Makefile panic-guard: library code under internal/ must return errors,
+// not crash the process.
+//
+//   - panic is allowed only inside Must* wrappers or at sites tagged
+//     `// panic-ok: <reason>` (unreachable-invariant checks);
+//   - log.Fatal and friends are never allowed under internal/ (they hide
+//     an os.Exit behind a logger);
+//   - os.Exit belongs exclusively to the cmd/ edges — under internal/ it
+//     is flagged even though a tag could technically silence it, because
+//     no such tag should survive review.
+var PanicGuardAnalyzer = &Analyzer{
+	Name: "panicguard",
+	Doc:  "restricts panic/os.Exit/log.Fatal in library code to tagged invariant checks and Must* wrappers",
+	Tag:  "panic-ok",
+	Run:  runPanicGuard,
+}
+
+func isInternalPkg(path string) bool {
+	return strings.HasPrefix(path, "vm1place/internal/")
+}
+
+func runPanicGuard(pass *Pass) error {
+	if !isInternalPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok {
+				if fd.Body != nil {
+					ast.Inspect(fd.Body, func(m ast.Node) bool {
+						checkPanicSite(pass, m, fd)
+						return true
+					})
+				}
+				return false
+			}
+			checkPanicSite(pass, n, nil)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPanicSite flags a panic/os.Exit/log.Fatal call site. enclosing is
+// the function declaration the call lives in, or nil at file scope
+// (package-level var initializers).
+func checkPanicSite(pass *Pass, n ast.Node, enclosing *ast.FuncDecl) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	switch {
+	case isBuiltinPanic(pass, call):
+		if enclosing != nil && strings.HasPrefix(enclosing.Name.Name, "Must") {
+			return // panic is the documented contract of a Must* wrapper
+		}
+		pass.Reportf(call.Pos(), "panic in library code: return an error, move into a Must* wrapper, or tag // panic-ok: with the invariant")
+	case isPkgFunc(pass.TypesInfo, call, "os", "Exit"):
+		pass.Reportf(call.Pos(), "os.Exit in library code: only cmd/ binaries may exit the process")
+	case isLogFatal(pass, call):
+		pass.Reportf(call.Pos(), "log.Fatal in library code: it exits the process; return an error instead")
+	}
+}
+
+func isBuiltinPanic(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func isLogFatal(pass *Pass, call *ast.CallExpr) bool {
+	return isPkgFunc(pass.TypesInfo, call, "log", "Fatal") ||
+		isPkgFunc(pass.TypesInfo, call, "log", "Fatalf") ||
+		isPkgFunc(pass.TypesInfo, call, "log", "Fatalln")
+}

@@ -1,0 +1,38 @@
+package analysis_test
+
+import (
+	"os"
+	"testing"
+
+	"vm1place/internal/analysis"
+)
+
+// TestSelfCheck asserts the repository itself is clean under the full
+// vm1lint suite — the same gate `make lint` runs — so any change that
+// introduces an untagged finding fails `go test ./...`, not just CI's
+// lint step.
+func TestSelfCheck(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, modulePath, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(modulePath, root)
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from %s; pattern resolution looks broken", len(pkgs), root)
+	}
+	findings, err := analysis.Run(loader.Fset, pkgs, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+	}
+}

@@ -1,0 +1,12 @@
+// Command pgfix is the panicguard negative fixture: os.Exit and panic at
+// the cmd/ edge are the sanctioned pattern and must not be flagged.
+package main
+
+import "os"
+
+func main() {
+	if len(os.Args) > 1 {
+		panic("cmd panics are not the guard's business")
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Package mofix is a maporder fixture inside a deterministic package
+// path (vm1place/internal/core/...), so every order-dependent map range
+// below must be flagged unless tagged.
+package mofix
+
+type model struct{ rows int }
+
+func (m *model) AddRow(k, v int) { m.rows++ }
+
+// keys appends in map order: flagged.
+func keys(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m { // want `order-dependent effect \(append to slice out`
+		out = append(out, k)
+	}
+	return out
+}
+
+// keysTagged is the legitimate collect-then-sort idiom: suppressed.
+func keysTagged(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m { // order-ok: caller sorts before use
+		out = append(out, k)
+	}
+	return out
+}
+
+// rows feeds an ordered sink in map order: flagged.
+func rows(md *model, m map[int]int) {
+	for k, v := range m { // want `ordered sink AddRow`
+		md.AddRow(k, v)
+	}
+}
+
+// sum accumulates floats in map order (non-associative): flagged.
+func sum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want `floating-point accumulation into s`
+		s += v
+	}
+	return s
+}
+
+// count has no ordered effect: clean.
+func count(m map[int]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// invert writes map entries keyed by the loop variable: order-independent,
+// clean.
+func invert(m map[int]string) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// innerAppend grows a slice born inside the loop body: the per-iteration
+// result does not depend on iteration order, clean.
+func innerAppend(m map[int][]int, f func([]int)) {
+	for k, vs := range m {
+		local := make([]int, 0, len(vs))
+		local = append(local, k)
+		f(local)
+	}
+}

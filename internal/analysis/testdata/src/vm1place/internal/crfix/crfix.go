@@ -1,0 +1,45 @@
+// Package crfix is a clockrand fixture in a deterministic internal
+// package: wall-clock reads and global math/rand draws are flagged;
+// seeded generators and tagged reporting sites pass.
+package crfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want `wall clock must not influence results`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall clock must not influence results`
+}
+
+func remaining(dl time.Time) time.Duration {
+	return time.Until(dl) // want `wall clock must not influence results`
+}
+
+func roll() int {
+	return rand.Intn(6) // want `global math/rand source \(rand\.Intn\)`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand source \(rand\.Shuffle\)`
+}
+
+// seeded uses the reproducible idiom: clean.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// durations that never read the clock are clean.
+func budget() time.Duration {
+	return 400 * time.Millisecond
+}
+
+// tagged stamps a report-only duration: suppressed.
+func tagged() time.Time {
+	return time.Now() // clock-ok: report-only timestamp
+}

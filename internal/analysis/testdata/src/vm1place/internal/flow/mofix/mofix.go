@@ -1,0 +1,12 @@
+// Package mofix (flow variant) holds the same order-dependent loop as
+// the core fixture, but vm1place/internal/flow is not a deterministic
+// kernel package, so maporder must stay silent here.
+package mofix
+
+func keys(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,10 @@
+// Package crfix (lp variant): vm1place/internal/lp owns solver
+// deadlines, so wall-clock reads are allowed untagged and clockrand must
+// stay silent here.
+package crfix
+
+import "time"
+
+func pastDeadline(dl time.Time) bool {
+	return time.Now().After(dl)
+}

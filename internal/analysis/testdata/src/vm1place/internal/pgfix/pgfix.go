@@ -1,0 +1,45 @@
+// Package pgfix is a panicguard fixture under internal/: untagged
+// panics, os.Exit and log.Fatal must be flagged; Must* wrappers and
+// tagged invariant checks pass.
+package pgfix
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+var errBoom = errors.New("boom")
+
+func bad() {
+	panic("boom") // want `panic in library code`
+}
+
+func badExit() {
+	os.Exit(1) // want `os\.Exit in library code`
+}
+
+func badFatal() {
+	log.Fatal("boom") // want `log\.Fatal in library code`
+}
+
+func badFatalf() {
+	log.Fatalf("boom %d", 1) // want `log\.Fatal in library code`
+}
+
+// tagged is an unreachable-invariant check: suppressed.
+func tagged(x int) {
+	if x < 0 {
+		panic("pgfix: negative size") // panic-ok: invariant
+	}
+}
+
+// MustValue is a Must* wrapper: panicking is its documented contract.
+func MustValue(v int, err error) int {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func returnsError() error { return errBoom }

@@ -1,0 +1,63 @@
+// Package wcfix is a wrapcheck fixture: errors embedded via %v/%s and
+// sentinel ==/!= comparisons are flagged; %w wrapping, errors.Is, nil
+// checks and tagged identity comparisons pass.
+package wcfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is a package-level sentinel.
+var ErrBad = errors.New("wcfix: bad")
+
+// wrapV flattens the chain with %v: flagged.
+func wrapV(err error) error {
+	return fmt.Errorf("solve failed: %v", err) // want `use %w`
+}
+
+// wrapS flattens the chain with %s: flagged.
+func wrapS(name string, err error) error {
+	return fmt.Errorf("open %q: %s", name, err) // want `use %w`
+}
+
+// wrapW keeps the chain: clean.
+func wrapW(err error) error {
+	return fmt.Errorf("solve failed: %w", err)
+}
+
+// wrapBoth wraps a sentinel and a cause: clean (double %w).
+func wrapBoth(err error) error {
+	return fmt.Errorf("%w: %w", ErrBad, err)
+}
+
+// describeType prints the dynamic type, not the chain: clean.
+func describeType(err error) string {
+	return fmt.Sprintf("%T", err)
+}
+
+// cmpEq compares a sentinel with ==: flagged.
+func cmpEq(err error) bool {
+	return err == ErrBad // want `use errors\.Is`
+}
+
+// cmpNeq compares a sentinel with !=: flagged.
+func cmpNeq(err error) bool {
+	return ErrBad != err // want `use errors\.Is`
+}
+
+// cmpIs goes through errors.Is: clean.
+func cmpIs(err error) bool {
+	return errors.Is(err, ErrBad)
+}
+
+// nilChecks are not sentinel comparisons: clean.
+func nilChecks(err error) bool {
+	return err != nil && ErrBad != nil
+}
+
+// cmpTagged asserts identity on a sentinel that is never wrapped:
+// suppressed.
+func cmpTagged(err error) bool {
+	return err == ErrBad // wrap-ok: identity check on a never-wrapped sentinel
+}

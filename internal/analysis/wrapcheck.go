@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WrapCheckAnalyzer keeps the structured-error contract from PR 5
+// honest: callers rely on errors.Is/errors.As seeing through the
+// library's wrapping (ErrInvalidLibrary, ErrBadUtilization, *StageError,
+// context.Canceled), which only works when
+//
+//   - fmt.Errorf embeds an error with %w, never %v/%s — a %v wrap
+//     flattens the cause into text and breaks the chain; and
+//   - sentinel errors (package-level `Err*` variables) are matched with
+//     errors.Is, never == or != — direct comparison fails as soon as a
+//     layer wraps the sentinel.
+var WrapCheckAnalyzer = &Analyzer{
+	Name: "wrapcheck",
+	Doc:  "requires %w when fmt.Errorf embeds an error and errors.Is/As for sentinel comparisons",
+	Tag:  "wrap-ok",
+	Run:  runWrapCheck,
+}
+
+func runWrapCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, e)
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass an error value to a
+// verb other than %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constString(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs, ok := parseVerbs(format)
+	if !ok {
+		return // indexed or otherwise exotic format; stay silent
+	}
+	args := call.Args[1:]
+	for i, v := range verbs {
+		if i >= len(args) {
+			break // go vet reports the arity mismatch
+		}
+		if v == 'w' || v == 'T' { // %T prints the type, it never meant to wrap
+			continue
+		}
+		t := pass.TypesInfo.TypeOf(args[i])
+		if t == nil || !implementsError(t) {
+			continue
+		}
+		pass.Reportf(args[i].Pos(), "error embedded with %%%c loses the chain for errors.Is/As; use %%w", v)
+	}
+}
+
+// constString returns the compile-time string value of e, if any.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// parseVerbs extracts the verb letter for each argument-consuming verb of
+// a Printf-style format string, in argument order. '*' width/precision
+// entries consume an argument and are recorded as '*'. Explicit argument
+// indexes (%[1]d) make the mapping nontrivial, so parseVerbs reports
+// ok=false and the caller skips the check.
+func parseVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision.
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return nil, false // explicit argument index
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# 0.0123456789", c) >= 0 {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] != '%' { // %% consumes no argument
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs, true
+}
+
+// checkSentinelCompare flags ==/!= comparisons where one side is a
+// package-level sentinel error variable (Err*) and the other is a
+// non-nil error expression.
+func checkSentinelCompare(pass *Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	sentinelSide := sentinelError(pass, e.X) != nil
+	otherNil := isNilExpr(pass, e.Y)
+	if !sentinelSide {
+		sentinelSide = sentinelError(pass, e.Y) != nil
+		otherNil = isNilExpr(pass, e.X)
+	}
+	if sentinelSide && !otherNil {
+		pass.Reportf(e.Pos(), "sentinel error compared with %s; use errors.Is so wrapped chains still match", e.Op)
+	}
+}
+
+// sentinelError returns the package-level error variable named Err* that
+// e refers to, or nil.
+func sentinelError(pass *Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return nil
+	}
+	// Package-level: parent scope is the package scope.
+	if obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") || !implementsError(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+func isNilExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}

@@ -59,7 +59,7 @@ func NewLibrary(t *tech.Tech, arch tech.Arch) (*Library, error) {
 		lib.byName[m.Name] = m
 	}
 	if err := lib.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrInvalidLibrary, err)
+		return nil, fmt.Errorf("%w: %w", ErrInvalidLibrary, err)
 	}
 	return lib, nil
 }

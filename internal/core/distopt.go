@@ -63,6 +63,7 @@ func workersOf(prm Params) int {
 func DistOpt(p *layout.Placement, prm Params, ps ParamSet, tx, ty int64,
 	allowMove, allowFlip bool) Objective {
 	t := NewObjTracker(p, prm)
+	// ctx-ok: context-free compatibility entry point; cancellable callers use distPass via VM1OptCtx.
 	obj, _ := distPass(context.Background(), t, ps, makeGrid(p, ps, tx, ty),
 		newArenaPool(workersOf(prm)), allowMove, allowFlip)
 	return obj
@@ -158,7 +159,7 @@ func familyParams(ctx context.Context, prm Params) Params {
 	if !ok {
 		return prm
 	}
-	rem := time.Until(dl)
+	rem := time.Until(dl) // clock-ok: converts the caller's ctx deadline into a milp TimeLimit; budgets, not results
 	if rem < time.Millisecond {
 		// The family launches anyway (the caller's ctx.Err() gate passed);
 		// a floor keeps the milp deadline armed rather than treating a

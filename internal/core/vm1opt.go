@@ -34,7 +34,7 @@ type Result struct {
 // the same offset), and each worker keeps one LP arena for the whole run
 // so warm starts survive across windows, families and passes.
 func VM1Opt(p *layout.Placement, prm Params, u Sequence) Result {
-	res, _ := VM1OptCtx(context.Background(), p, prm, u)
+	res, _ := VM1OptCtx(context.Background(), p, prm, u) // ctx-ok: context-free compat wrapper
 	return res
 }
 
@@ -56,7 +56,7 @@ func VM1OptCtx(ctx context.Context, p *layout.Placement, prm Params, u Sequence)
 // sequential scheme is faster at similar quality (§4.2); this variant
 // exists to reproduce that comparison.
 func VM1OptJoint(p *layout.Placement, prm Params, u Sequence) Result {
-	res, _ := VM1OptJointCtx(context.Background(), p, prm, u)
+	res, _ := VM1OptJointCtx(context.Background(), p, prm, u) // ctx-ok: context-free compat wrapper
 	return res
 }
 
@@ -68,7 +68,7 @@ func VM1OptJointCtx(ctx context.Context, p *layout.Placement, prm Params, u Sequ
 // vm1optRun drives Algorithm 1 in either the sequential perturb-then-flip
 // mode or the joint move+flip ablation mode.
 func vm1optRun(ctx context.Context, p *layout.Placement, prm Params, u Sequence, joint bool) (Result, error) {
-	start := time.Now()
+	start := time.Now() // clock-ok: stamps Result.Duration for reporting; never feeds a decision
 	t := NewObjTracker(p, prm)
 	res := Result{Initial: t.Objective()}
 	obj := res.Initial
@@ -118,7 +118,7 @@ loop:
 		}
 	}
 	res.Final = t.Objective()
-	res.Duration = time.Since(start)
+	res.Duration = time.Since(start) // clock-ok: wall-time report only
 	if runErr != nil {
 		return res, fmt.Errorf("core: VM1Opt interrupted: %w", runErr)
 	}

@@ -182,7 +182,7 @@ func (w *window) buildModel() (*lp.Model, *milp.Model, [][]int, float64) {
 	// in Go, and row order steers simplex pivoting, so iterating the map
 	// directly would make window solutions vary run to run.
 	occKeys := make([]int, 0, len(occ))
-	for idx := range occ {
+	for idx := range occ { // order-ok: keys are sorted below before any row is added
 		occKeys = append(occKeys, idx)
 	}
 	sort.Ints(occKeys)

@@ -407,7 +407,7 @@ func RunAblationJointFlip(cfg SuiteConfig) (AblationResult, error) {
 // simultaneously in each window MILP. It is the same four-stage pipeline
 // with the joint optimizer plugged into the optimize stage.
 func RunJointFlow(spec DesignSpec, cfg FlowConfig) (FlowResult, error) {
-	return runFlow(context.Background(), spec, cfg, core.VM1OptJointCtx, 0, false)
+	return runFlow(context.Background(), spec, cfg, core.VM1OptJointCtx, 0, false) // ctx-ok: context-free compat wrapper
 }
 
 // --- Timing-aware extension (paper future work (ii)) ----------------------
@@ -430,5 +430,5 @@ func TimingAwareBetas(spec DesignSpec, arch tech.Arch, util, weight float64) ([]
 // the build stage additionally runs the slack analysis on the fresh
 // placement and threads the criticality betas into the optimizer params.
 func RunTimingAwareFlow(spec DesignSpec, cfg FlowConfig, weight float64) (FlowResult, error) {
-	return runFlow(context.Background(), spec, cfg, core.VM1OptCtx, weight, true)
+	return runFlow(context.Background(), spec, cfg, core.VM1OptCtx, weight, true) // ctx-ok: context-free compat wrapper
 }

@@ -283,7 +283,7 @@ func runFlow(ctx context.Context, spec DesignSpec, cfg FlowConfig, opt optimizer
 // RunFlow executes the full flow on one design: place, route (Init
 // metrics), VM1Opt, reroute (Final metrics).
 func RunFlow(spec DesignSpec, cfg FlowConfig) (FlowResult, error) {
-	return RunFlowCtx(context.Background(), spec, cfg)
+	return RunFlowCtx(context.Background(), spec, cfg) // ctx-ok: context-free compat wrapper
 }
 
 // RunFlowCtx is RunFlow under a context: cancellation and deadlines reach

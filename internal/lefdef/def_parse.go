@@ -235,7 +235,7 @@ func ParseDEF(r io.Reader, t *tech.Tech, lib *cells.Library) (*layout.Placement,
 		p.PortXY[pl.idx] = geom.Point{X: pl.x, Y: pl.y}
 	}
 	if err := d.Validate(); err != nil {
-		return nil, fmt.Errorf("lefdef: parsed design invalid: %v", err)
+		return nil, fmt.Errorf("lefdef: parsed design invalid: %w", err)
 	}
 	return p, nil
 }

@@ -226,7 +226,7 @@ func ParseLEF(r io.Reader, t *tech.Tech) (*cells.Library, error) {
 			if cur != nil && len(rest) >= 1 {
 				wdbu, err := toDBU(rest[0])
 				if err != nil {
-					return nil, fmt.Errorf("lefdef: bad SIZE %q: %v", rest[0], err)
+					return nil, fmt.Errorf("lefdef: bad SIZE %q: %w", rest[0], err)
 				}
 				cur.WidthSites = int(wdbu / t.SiteWidth)
 			}
@@ -275,7 +275,7 @@ func ParseLEF(r io.Reader, t *tech.Tech) (*cells.Library, error) {
 			for i, c := range coords {
 				x, err := toDBU(c)
 				if err != nil {
-					return nil, fmt.Errorf("lefdef: bad RECT coord %q: %v", c, err)
+					return nil, fmt.Errorf("lefdef: bad RECT coord %q: %w", c, err)
 				}
 				v[i] = x
 			}

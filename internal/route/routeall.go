@@ -13,7 +13,7 @@ import (
 // final metrics. Nets are routed in conflict-free parallel batches (see
 // parallel.go); the result is identical for every cfg.Workers value.
 func (r *Router) RouteAll() Metrics {
-	m, _ := r.RouteAllCtx(context.Background())
+	m, _ := r.RouteAllCtx(context.Background()) // ctx-ok: context-free compat wrapper
 	return m
 }
 
