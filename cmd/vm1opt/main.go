@@ -53,6 +53,8 @@ func run() error {
 	alpha := flag.Float64("alpha", -1, "alignment weight (negative: architecture default)")
 	seqStr := flag.String("seq", "", "U sequence 'bwUm:lx:ly,...' (default 20:4:1)")
 	workers := flag.Int("workers", 8, "parallel window solvers")
+	solverWorkers := flag.Int("solver-workers", 0,
+		"branch-and-bound workers inside each window MILP (0: sequential)")
 	lefPath := flag.String("lef", "", "read library LEF (with -def)")
 	defPath := flag.String("def", "", "read placed DEF (with -lef)")
 	outPath := flag.String("out", "", "write optimized DEF to this path")
@@ -76,10 +78,11 @@ func run() error {
 	}
 
 	cfg := expt.FlowConfig{
-		Arch:     arch,
-		Util:     *util,
-		Sequence: seq,
-		Workers:  *workers,
+		Arch:          arch,
+		Util:          *util,
+		Sequence:      seq,
+		Workers:       *workers,
+		SolverWorkers: *solverWorkers,
 	}
 	if *alpha >= 0 {
 		cfg.Alpha = *alpha

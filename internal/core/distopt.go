@@ -3,11 +3,11 @@ package core
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vm1place/internal/geom"
 	"vm1place/internal/layout"
-	"vm1place/internal/lp"
 )
 
 // passGrid is the window decomposition of one DistOpt call: the window
@@ -32,19 +32,6 @@ func makeGrid(p *layout.Placement, ps ParamSet, tx, ty int64) passGrid {
 	}
 }
 
-// newArenaPool builds one LP scratch arena per worker. Arenas are handed
-// out through the channel so a worker owns its arena exclusively for the
-// duration of one window solve; across families and passes the same arena
-// keeps serving windows, which preserves its warm-start state and avoids
-// re-allocating the dense basis inverse for every MILP.
-func newArenaPool(workers int) chan *lp.Arena {
-	pool := make(chan *lp.Arena, workers)
-	for i := 0; i < workers; i++ {
-		pool <- lp.NewArena()
-	}
-	return pool
-}
-
 func workersOf(prm Params) int {
 	if prm.Workers <= 0 {
 		return 1
@@ -59,32 +46,41 @@ func workersOf(prm Params) int {
 //
 // This entry point builds a fresh objective tracker and grid for a single
 // standalone pass; VM1Opt drives distPass directly so the tracker, grid
-// and LP arenas persist across passes.
+// and solve workspaces persist across passes.
 func DistOpt(p *layout.Placement, prm Params, ps ParamSet, tx, ty int64,
 	allowMove, allowFlip bool) Objective {
 	t := NewObjTracker(p, prm)
 	// ctx-ok: context-free compatibility entry point; cancellable callers use distPass via VM1OptCtx.
 	obj, _ := distPass(context.Background(), t, ps, makeGrid(p, ps, tx, ty),
-		newArenaPool(workersOf(prm)), allowMove, allowFlip)
+		newSolverPool(workersOf(prm)), allowMove, allowFlip)
 	return obj
 }
 
-// distPass runs one DistOpt pass through an ObjTracker. Windows are built
-// against the live placement — every build in a family completes (and only
-// reads) before any of the family's moves are applied, and families with
-// disjoint projections never conflict, so no placement snapshot is needed.
-// Accepted relocations are funneled through t.ApplyMoves, which updates
-// only the nets incident to moved cells instead of rescanning the design.
+// distPass runs one DistOpt pass through an ObjTracker. Each family's
+// windows are built against the live placement and solved in parallel;
+// every build in a family completes (and only reads) before any of the
+// family's moves are applied, and families with disjoint projections never
+// conflict, so no placement snapshot is needed. Accepted relocations are
+// funneled through t.ApplyMoves, which updates only the nets incident to
+// moved cells instead of rescanning the design.
+//
+// The pass pipelines build against solve across neighboring diagonal
+// families: while family f's windows are being solved, the same workers
+// also prebuild family f+1's geometry stage (movable sets, blocked sites,
+// candidates — see window.buildGeom for why that stage is invariant under
+// family f's moves). Only the net/pair stage, which reads terminal
+// positions anywhere on the die, waits for family f's moves to commit.
 //
 // Cancellation is checked between window families — the pass's commit
 // boundaries — so an interrupted pass returns with the placement legal and
 // the tracker consistent, together with the ctx error. A context deadline
-// additionally clamps the per-window MILP wall budget (familyParams), so
-// solves launched near the deadline cannot overrun it: the milp solver
-// arms lp.Arena.SetDeadline with exactly this budget.
+// additionally clamps the per-window MILP wall budget: familyParams
+// derives one budget from the shared pass deadline at pass start, and the
+// milp solver arms lp.Arena.SetDeadline with exactly that budget.
 func distPass(ctx context.Context, t *ObjTracker, ps ParamSet, g passGrid,
-	arenas chan *lp.Arena, allowMove, allowFlip bool) (Objective, error) {
+	pool *solverPool, allowMove, allowFlip bool) (Objective, error) {
 	p, prm := t.p, t.prm
+	fprm := familyParams(ctx, prm)
 
 	// Diagonal scheduling: family f holds windows with (wi - wj) ≡ f
 	// (mod D); within a family, window x indices and y indices are all
@@ -93,56 +89,106 @@ func distPass(ctx context.Context, t *ObjTracker, ps ParamSet, g passGrid,
 	if g.nwy > d {
 		d = g.nwy
 	}
-	var moves []Move
+	var families [][]int
 	for f := 0; f < d; f++ {
-		var family []int
+		var fam []int
 		for wj := 0; wj < g.nwy; wj++ {
 			for wi := 0; wi < g.nwx; wi++ {
 				if ((wi-wj)%d+d)%d == f {
-					family = append(family, wj*g.nwx+wi)
+					fam = append(fam, wj*g.nwx+wi)
 				}
 			}
 		}
-		if len(family) == 0 {
-			continue
+		if len(fam) > 0 {
+			families = append(families, fam)
 		}
+	}
+
+	var moves []Move
+	var pre []*window // prebuilt geometry for the family about to run
+	for fi := 0; fi < len(families); fi++ {
 		if err := ctx.Err(); err != nil {
+			pool.putWindows(pre)
 			return t.Objective(), err
 		}
-		fprm := familyParams(ctx, prm)
-
-		type result struct {
-			w      *window
-			assign []int
+		curFam := families[fi]
+		cur := pre
+		if cur == nil {
+			// First family: no prebuild happened yet; its windows are
+			// built from scratch inside the solve tasks below.
+			cur = make([]*window, len(curFam))
 		}
-		results := make([]result, len(family))
+		var next []*window
+		var nextFam []int
+		if fi+1 < len(families) {
+			nextFam = families[fi+1]
+			next = make([]*window, len(nextFam))
+		}
+		pre = next
+
+		// Combined task list for this family's barrier: first the solve
+		// tasks (finish nets/pairs on prebuilt geometry, then solve), then
+		// the geometry prebuilds for the next family. Workers drain the
+		// list through an atomic cursor; results land at fixed indices, so
+		// scheduling order never affects the outcome.
+		assigns := make([][]int, len(cur))
+		total := len(cur) + len(next)
+		workers := pool.workers
+		if workers > total {
+			workers = total
+		}
+		var cursor atomic.Int64
 		var wg sync.WaitGroup
-		for k, widx := range family {
+		for wk := 0; wk < workers; wk++ {
 			wg.Add(1)
-			arena := <-arenas
-			go func(k, widx int, arena *lp.Arena) {
+			sv := <-pool.solvers
+			go func(sv *winSolver) {
 				defer wg.Done()
-				defer func() { arenas <- arena }()
-				w := buildWindow(p, fprm, g.rects[widx], ps, g.buckets[widx], allowMove, allowFlip)
-				w.scratch = arena
-				results[k] = result{w: w, assign: w.solve()}
-			}(k, widx, arena)
+				defer func() { pool.solvers <- sv }()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= total {
+						return
+					}
+					if i < len(cur) {
+						w := cur[i]
+						if w == nil {
+							w = pool.getWindow()
+							w.buildGeom(p, fprm, g.rects[curFam[i]], ps,
+								g.buckets[curFam[i]], allowMove, allowFlip)
+							cur[i] = w
+						}
+						w.buildNetsPairs()
+						w.sv = sv
+						assigns[i] = w.solve()
+						w.sv = nil
+					} else {
+						j := i - len(cur)
+						w := pool.getWindow()
+						w.buildGeom(p, fprm, g.rects[nextFam[j]], ps,
+							g.buckets[nextFam[j]], allowMove, allowFlip)
+						next[j] = w
+					}
+				}
+			}(sv)
 		}
 		wg.Wait()
 
 		moves = moves[:0]
-		for _, res := range results {
-			if res.assign == nil {
+		for k, w := range cur {
+			assign := assigns[k]
+			if assign == nil {
 				continue
 			}
-			for ci, inst := range res.w.movable {
-				cd := res.w.cand[ci][res.assign[ci]]
+			for ci, inst := range w.movable {
+				cd := w.cand[ci][assign[ci]]
 				if cd.site == p.SiteX[inst] && cd.row == p.Row[inst] && cd.flip == p.Flip[inst] {
 					continue // cell kept its placement; nothing to refresh
 				}
 				moves = append(moves, Move{Inst: inst, Site: cd.site, Row: cd.row, Flip: cd.flip})
 			}
 		}
+		pool.putWindows(cur)
 		if len(moves) > 0 {
 			t.ApplyMoves(moves)
 		}
@@ -150,10 +196,13 @@ func distPass(ctx context.Context, t *ObjTracker, ps ParamSet, g passGrid,
 	return t.Objective(), nil
 }
 
-// familyParams clamps the per-window MILP budget of one family to the
-// remaining time before the context deadline. Without a deadline the
-// params pass through untouched, keeping the uncanceled path identical to
-// the pre-context engine.
+// familyParams clamps the per-window MILP budget of one pass to the
+// remaining time before the context deadline. The budget is derived once
+// at pass start from the shared deadline — not re-read per family — so
+// every family of the pass solves under the same wall budget and an
+// untimed run's params pass through untouched, keeping that path identical
+// to the pre-context engine. (The per-family ctx.Err() gate in distPass is
+// what stops a pass whose deadline has already expired.)
 func familyParams(ctx context.Context, prm Params) Params {
 	dl, ok := ctx.Deadline()
 	if !ok {
@@ -161,9 +210,9 @@ func familyParams(ctx context.Context, prm Params) Params {
 	}
 	rem := time.Until(dl) // clock-ok: converts the caller's ctx deadline into a milp TimeLimit; budgets, not results
 	if rem < time.Millisecond {
-		// The family launches anyway (the caller's ctx.Err() gate passed);
-		// a floor keeps the milp deadline armed rather than treating a
-		// non-positive TimeLimit as "no budget".
+		// The pass runs anyway (the caller's ctx.Err() gate decides when to
+		// stop); a floor keeps the milp deadline armed rather than treating
+		// a non-positive TimeLimit as "no budget".
 		rem = time.Millisecond
 	}
 	if prm.TimeLimit <= 0 || rem < prm.TimeLimit {

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"vm1place/internal/tech"
+)
+
+// TestVM1OptSolverWorkersInvariance checks the parallel branch-and-bound
+// determinism guarantee at the placement level: with canonically-ordered
+// commits and cold node relaxations (lp.Arena.InvalidateWarm before every
+// parallel solve), any SolverWorkers count >= 2 must produce bit-identical
+// placements and objectives. Sequential (SolverWorkers <= 1) runs use warm
+// dual chains whose float pivot paths legitimately differ, so they are not
+// part of the bitwise claim — milp's TestSequentialVsParallel covers that
+// regime with an objective tolerance instead.
+func TestVM1OptSolverWorkersInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several full optimizer passes")
+	}
+	type snap struct {
+		site []int
+		row  []int
+		flip []bool
+		res  Result
+	}
+	run := func(solverWorkers int) snap {
+		p := genPlaced(t, tech.ClosedM1, 300, 29, 0.75)
+		prm := DefaultParams(p.Tech, tech.ClosedM1)
+		prm.Workers = 2
+		prm.SolverWorkers = solverWorkers
+		prm.MaxNodes = 40
+		prm.TimeLimit = 0 // untimed: identical work regardless of wall clock
+		prm.MaxOuterIters = 1
+		res := VM1Opt(p, prm, Sequence{{BW: 2000, BH: 2000, LX: 3, LY: 1}})
+		return snap{
+			site: append([]int(nil), p.SiteX...),
+			row:  append([]int(nil), p.Row...),
+			flip: append([]bool(nil), p.Flip...),
+			res:  res,
+		}
+	}
+	base := run(2)
+	for _, w := range []int{3, 8} {
+		got := run(w)
+		if got.res.Final != base.res.Final {
+			t.Fatalf("SolverWorkers=%d final objective diverged:\n got %+v\nwant %+v",
+				w, got.res.Final, base.res.Final)
+		}
+		for i := range base.site {
+			if got.site[i] != base.site[i] || got.row[i] != base.row[i] ||
+				got.flip[i] != base.flip[i] {
+				t.Fatalf("SolverWorkers=%d placement diverged at inst %d: "+
+					"(%d,%d,%v) vs (%d,%d,%v)", w, i,
+					got.site[i], got.row[i], got.flip[i],
+					base.site[i], base.row[i], base.flip[i])
+			}
+		}
+	}
+}
+
+// TestVM1OptSolverWorkersLegalAndTracked checks that the parallel in-window
+// solver composes with the deadline machinery: a short timed run with
+// SolverWorkers=4 must stay legal and report a Final objective matching a
+// fresh rescan.
+func TestVM1OptSolverWorkersLegalAndTracked(t *testing.T) {
+	p := genPlaced(t, tech.ClosedM1, 300, 31, 0.75)
+	prm := DefaultParams(p.Tech, tech.ClosedM1)
+	prm.Workers = 2
+	prm.SolverWorkers = 4
+	prm.MaxNodes = 40
+	prm.TimeLimit = 100 * time.Millisecond
+	prm.MaxOuterIters = 1
+	res := VM1Opt(p, prm, Sequence{{BW: 2000, BH: 2000, LX: 3, LY: 1}})
+	if err := p.CheckLegal(); err != nil {
+		t.Fatalf("illegal after parallel-solver pass: %v", err)
+	}
+	if want := CalculateObj(p, prm); res.Final != want {
+		t.Fatalf("final objective diverged from rescan:\n got %+v\nwant %+v",
+			res.Final, want)
+	}
+}

@@ -38,13 +38,13 @@ func TestObjTrackerMatchesOptimizerPasses(t *testing.T) {
 		requireObjEqual(t, arch.String()+"/initial", tr)
 
 		ps := ParamSet{BW: 2000, BH: 2000, LX: 3, LY: 1}
-		arenas := newArenaPool(workersOf(prm))
+		pool := newSolverPool(workersOf(prm))
 		var tx, ty int64
 		for it := 0; it < 3; it++ {
 			g := makeGrid(p, ps, tx, ty)
-			distPass(context.Background(), tr, ps, g, arenas, true, false)
+			distPass(context.Background(), tr, ps, g, pool, true, false)
 			requireObjEqual(t, arch.String()+"/perturb", tr)
-			distPass(context.Background(), tr, ps, g, arenas, false, true)
+			distPass(context.Background(), tr, ps, g, pool, false, true)
 			requireObjEqual(t, arch.String()+"/flip", tr)
 			// Half-window shifts produce clipped windows on the die
 			// boundary next iteration (Section 4.2 coverage).

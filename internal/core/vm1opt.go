@@ -31,8 +31,9 @@ type Result struct {
 // The placement is optimized in place and stays legal throughout. One
 // ObjTracker carries the objective incrementally across every pass, the
 // window grid is computed once per perturb+flip pair (both passes share
-// the same offset), and each worker keeps one LP arena for the whole run
-// so warm starts survive across windows, families and passes.
+// the same offset), and each worker keeps one solve workspace (LP arena,
+// pooled models, assembly buffers) plus a window freelist for the whole
+// run, so the steady-state inner loop allocates per pass, not per window.
 func VM1Opt(p *layout.Placement, prm Params, u Sequence) Result {
 	res, _ := VM1OptCtx(context.Background(), p, prm, u) // ctx-ok: context-free compat wrapper
 	return res
@@ -72,7 +73,7 @@ func vm1optRun(ctx context.Context, p *layout.Placement, prm Params, u Sequence,
 	t := NewObjTracker(p, prm)
 	res := Result{Initial: t.Objective()}
 	obj := res.Initial
-	arenas := newArenaPool(workersOf(prm))
+	pool := newSolverPool(workersOf(prm))
 
 	var runErr error
 loop:
@@ -84,12 +85,12 @@ loop:
 			g := makeGrid(p, ps, tx, ty)
 
 			if joint {
-				obj, runErr = distPass(ctx, t, ps, g, arenas, true, true)
+				obj, runErr = distPass(ctx, t, ps, g, pool, true, true)
 			} else {
 				// Perturbation pass: move within (lx, ly), keep orientation.
-				if _, runErr = distPass(ctx, t, ps, g, arenas, true, false); runErr == nil {
+				if _, runErr = distPass(ctx, t, ps, g, pool, true, false); runErr == nil {
 					// Flip pass: keep location, optimize orientation.
-					obj, runErr = distPass(ctx, t, ps, g, arenas, false, true)
+					obj, runErr = distPass(ctx, t, ps, g, pool, false, true)
 				}
 			}
 			if runErr != nil {

@@ -4,7 +4,6 @@ import (
 	"vm1place/internal/cells"
 	"vm1place/internal/geom"
 	"vm1place/internal/layout"
-	"vm1place/internal/lp"
 	"vm1place/internal/netlist"
 	"vm1place/internal/tech"
 )
@@ -18,6 +17,19 @@ type cand struct {
 
 // window is one MILP subproblem: the movable cells fully inside a window
 // rectangle, their candidates, and the nets/pairs they touch.
+//
+// A window is built in two stages so DistOpt can pipeline families:
+// buildGeom captures everything derivable from the window's own tile
+// (movable set, blocked sites, candidates, candidate costs) — quantities
+// that are invariant under moves in *other* windows, because a cell fully
+// inside one tile appears in no other tile's bucket and straddlers are
+// immovable for the whole pass. buildNetsPairs then resolves net terminals,
+// which may live anywhere on the die, so it must run after the previous
+// family's moves are applied.
+//
+// Windows are pooled (solverPool.getWindow): all per-window storage is
+// carved from slabs owned by the struct and reclaimed by reset(), so a
+// steady-state build allocates nothing.
 type window struct {
 	p   *layout.Placement // read-only snapshot during parallel solves
 	prm Params
@@ -36,10 +48,25 @@ type window struct {
 	nets  []*winNet
 	pairs []*winPair
 
-	// scratch is the per-worker LP workspace threaded from DistOpt; the
-	// window MILP reuses it for every node relaxation. nil is allowed (the
-	// MILP solver then allocates a private arena).
-	scratch *lp.Arena
+	// sv is the per-worker solve workspace threaded from DistOpt for the
+	// duration of one solve; solve()/buildModel lazily create a private one
+	// when unset (standalone and test use).
+	sv *winSolver
+
+	// Pooled backing stores, reclaimed by reset(). Carves use full-capacity
+	// (three-index) slices, so a slab growing later never aliases an
+	// earlier carve; carves made before a slab reallocation simply keep the
+	// old backing array alive until the next reset.
+	candSlab []cand
+	costSlab []float64
+	i64Slab  []int64
+	intSlab  []int
+	colPins  []float64
+	ownPins  []float64
+	netSlab  []winNet
+	pairSlab []winPair
+	scoreBuf []scoredPair
+	netSeen  map[int]*winNet
 }
 
 // winPin is a net terminal as seen by the window MILP: movable (cell index
@@ -60,7 +87,8 @@ type winPin struct {
 // winNet is a net with at least one movable pin.
 type winNet struct {
 	ni      int
-	movable []winPin
+	terms   []winPin // every signal terminal, in connection order
+	movable []winPin // the subset with cell >= 0
 	// Fixed-terminal extremes folded into bounds (valid iff hasFixed).
 	hasFixed                   bool
 	fxMin, fxMax, fyMin, fyMax int64
@@ -77,13 +105,84 @@ func (w *window) occIdx(row, site int) int {
 	return (row-w.r0)*(w.s1-w.s0) + (site - w.s0)
 }
 
-// buildWindow constructs the subproblem for the window rectangle. insts
-// must contain every instance whose rect intersects the rectangle (a
-// superset is fine). allowMove/allowFlip select the DistOpt pass mode.
+// reset reclaims all pooled storage, leaving the window ready for a fresh
+// buildGeom. Slab capacities (and the net-dedup map's buckets) survive, so
+// a recycled window builds without allocating.
+func (w *window) reset() {
+	w.movable = w.movable[:0]
+	w.cand = w.cand[:0]
+	w.curCand = w.curCand[:0]
+	w.candCost = w.candCost[:0]
+	w.nets = w.nets[:0]
+	w.pairs = w.pairs[:0]
+	w.candSlab = w.candSlab[:0]
+	w.costSlab = w.costSlab[:0]
+	w.i64Slab = w.i64Slab[:0]
+	w.intSlab = w.intSlab[:0]
+	w.netSlab = w.netSlab[:0]
+	w.pairSlab = w.pairSlab[:0]
+	w.scoreBuf = w.scoreBuf[:0]
+	clear(w.netSeen)
+	w.sv = nil
+}
+
+// carve64 returns an n-element full-capacity slice carved from the int64
+// slab. A reallocation resets the slab; earlier carves keep the old array.
+func (w *window) carve64(n int) []int64 {
+	l := len(w.i64Slab)
+	if l+n > cap(w.i64Slab) {
+		c := 2 * (l + n)
+		if c < 4096 {
+			c = 4096
+		}
+		w.i64Slab = make([]int64, 0, c)
+		l = 0
+	}
+	w.i64Slab = w.i64Slab[:l+n]
+	return w.i64Slab[l : l+n : l+n]
+}
+
+// carveInt is carve64 for the int slab.
+func (w *window) carveInt(n int) []int {
+	l := len(w.intSlab)
+	if l+n > cap(w.intSlab) {
+		c := 2 * (l + n)
+		if c < 2048 {
+			c = 2048
+		}
+		w.intSlab = make([]int, 0, c)
+		l = 0
+	}
+	w.intSlab = w.intSlab[:l+n]
+	return w.intSlab[l : l+n : l+n]
+}
+
+// buildWindow constructs the complete subproblem for the window rectangle
+// in one shot (geometry plus nets/pairs). insts must contain every instance
+// whose rect intersects the rectangle (a superset is fine). allowMove/
+// allowFlip select the DistOpt pass mode. DistOpt itself calls the two
+// stages separately to pipeline families; this wrapper serves standalone
+// and test use.
 func buildWindow(p *layout.Placement, prm Params, rect geom.Rect, ps ParamSet,
 	insts []int, allowMove, allowFlip bool) *window {
+	w := &window{}
+	w.buildGeom(p, prm, rect, ps, insts, allowMove, allowFlip)
+	w.buildNetsPairs()
+	return w
+}
+
+// buildGeom constructs the window-local stage of the subproblem: movable
+// set, blocked sites, candidates and candidate costs. Everything read here
+// lives inside the window's instance bucket, so the result is invariant
+// under concurrent optimization of other windows whose tiles are disjoint
+// (their movable cells are not in this bucket; shared straddlers never
+// move). The window is reset first, so pooled windows can be rebuilt
+// directly.
+func (w *window) buildGeom(p *layout.Placement, prm Params, rect geom.Rect, ps ParamSet,
+	insts []int, allowMove, allowFlip bool) {
+	w.reset()
 	t := p.Tech
-	w := &window{p: p, prm: prm}
+	w.p, w.prm = p, prm
 	w.s0 = int(rect.XLo / t.SiteWidth)
 	w.s1 = int(rect.XHi / t.SiteWidth)
 	w.r0 = int(rect.YLo / t.RowHeight)
@@ -101,11 +200,13 @@ func buildWindow(p *layout.Placement, prm Params, rect geom.Rect, ps ParamSet,
 		w.r1 = p.NumRows
 	}
 	if w.s1 <= w.s0 || w.r1 <= w.r0 {
-		return w
+		w.blocked = w.blocked[:0]
+		return
 	}
 
 	// Blocked sites: cells intersecting but not fully inside the window.
-	w.blocked = make([]bool, (w.r1-w.r0)*(w.s1-w.s0))
+	w.blocked = grown(w.blocked, (w.r1-w.r0)*(w.s1-w.s0))
+	clear(w.blocked)
 	blocked := w.blocked
 	for _, i := range insts {
 		wi := p.Design.Insts[i].Master.WidthSites
@@ -128,17 +229,18 @@ func buildWindow(p *layout.Placement, prm Params, rect geom.Rect, ps ParamSet,
 	if !allowMove {
 		lx, ly = 0, 0
 	}
-	w.cand = make([][]cand, len(w.movable))
-	w.curCand = make([]int, len(w.movable))
+	w.cand = grown(w.cand, len(w.movable))
+	w.curCand = grown(w.curCand, len(w.movable))
 	for ci, i := range w.movable {
 		wi := p.Design.Insts[i].Master.WidthSites
 		curSite, curRow, curFlip := p.SiteX[i], p.Row[i], p.Flip[i]
-		var flips []bool
+		flips := [2]bool{curFlip, true}
+		nf := 1
 		if allowFlip {
-			flips = []bool{false, true}
-		} else {
-			flips = []bool{curFlip}
+			flips = [2]bool{false, true}
+			nf = 2
 		}
+		start := len(w.candSlab)
 		cur := -1
 		for r := curRow - ly; r <= curRow+ly; r++ {
 			if r < w.r0 || r >= w.r1 {
@@ -158,11 +260,12 @@ func buildWindow(p *layout.Placement, prm Params, rect geom.Rect, ps ParamSet,
 				if hitsBlocked {
 					continue
 				}
-				for _, f := range flips {
+				for fi := 0; fi < nf; fi++ {
+					f := flips[fi]
 					if s == curSite && r == curRow && f == curFlip {
-						cur = len(w.cand[ci])
+						cur = len(w.candSlab) - start
 					}
-					w.cand[ci] = append(w.cand[ci], cand{site: s, row: r, flip: f})
+					w.candSlab = append(w.candSlab, cand{site: s, row: r, flip: f})
 				}
 			}
 		}
@@ -170,24 +273,39 @@ func buildWindow(p *layout.Placement, prm Params, rect geom.Rect, ps ParamSet,
 			// The current position must always be available (fixed cells
 			// cannot overlap it). Guard against accounting bugs by adding
 			// it explicitly.
-			cur = len(w.cand[ci])
-			w.cand[ci] = append(w.cand[ci], cand{site: curSite, row: curRow, flip: curFlip})
+			cur = len(w.candSlab) - start
+			w.candSlab = append(w.candSlab, cand{site: curSite, row: curRow, flip: curFlip})
 		}
+		w.cand[ci] = w.candSlab[start:len(w.candSlab):len(w.candSlab)]
 		w.curCand[ci] = cur
 	}
 
 	w.buildCandCosts(insts)
+}
+
+// buildNetsPairs resolves the nets and eligible pin pairs touching the
+// movable cells. Net terminals may sit anywhere on the die, so this stage
+// must run against the placement state the window will be solved on — i.e.
+// after the previous family's moves are applied.
+func (w *window) buildNetsPairs() {
+	if len(w.movable) == 0 {
+		return
+	}
 	w.collectNetsAndPairs()
-	return w
 }
 
 // buildCandCosts precomputes the optional pin-density penalty: for each
 // candidate, the number of signal pins of *other* cells whose access track
 // falls into the candidate's site columns, scaled by PinDensityWeight.
 func (w *window) buildCandCosts(insts []int) {
-	w.candCost = make([][]float64, len(w.movable))
+	w.candCost = grown(w.candCost, len(w.movable))
 	for ci := range w.movable {
-		w.candCost[ci] = make([]float64, len(w.cand[ci]))
+		n := len(w.cand[ci])
+		start := len(w.costSlab)
+		for j := 0; j < n; j++ {
+			w.costSlab = append(w.costSlab, 0)
+		}
+		w.candCost[ci] = w.costSlab[start : start+n : start+n]
 	}
 	if w.prm.PinDensityWeight <= 0 {
 		return
@@ -196,7 +314,9 @@ func (w *window) buildCandCosts(insts []int) {
 	t := p.Tech
 	// Pin counts per window site column (all rows folded: vertical M1
 	// access makes column crowding the relevant quantity).
-	colPins := make([]float64, w.s1-w.s0)
+	w.colPins = grown(w.colPins, w.s1-w.s0)
+	colPins := w.colPins
+	clear(colPins)
 	for _, i := range insts {
 		m := p.Design.Insts[i].Master
 		for pi := range m.Pins {
@@ -211,11 +331,13 @@ func (w *window) buildCandCosts(insts []int) {
 			}
 		}
 	}
+	w.ownPins = grown(w.ownPins, w.s1-w.s0)
+	own := w.ownPins
 	for ci, i := range w.movable {
 		m := p.Design.Insts[i].Master
 		// Subtract the cell's own pins: they travel with the candidate and
 		// must not penalize staying put.
-		own := make(map[int]float64)
+		clear(own)
 		for pi := range m.Pins {
 			pin := &m.Pins[pi]
 			if !pin.IsSignal() {
@@ -247,7 +369,8 @@ func (w *window) cellOf(inst int) int {
 	return -1
 }
 
-// makePin builds the winPin view of a connection.
+// makePin builds the winPin view of a connection. Geometry arrays are
+// carved from the window slabs.
 func (w *window) makePin(c netlist.Conn) winPin {
 	p := w.p
 	t := p.Tech
@@ -264,24 +387,23 @@ func (w *window) makePin(c netlist.Conn) winPin {
 		cy = y + cells.PinY(inst.Master, t, pin)
 		return cx, cy, ax, lo, hi, row
 	}
+	n := 1
+	if wp.cell >= 0 {
+		n = len(w.cand[wp.cell])
+	}
+	b := w.carve64(5 * n)
+	wp.centerX = b[0*n : 1*n : 1*n]
+	wp.centerY = b[1*n : 2*n : 2*n]
+	wp.alignX = b[2*n : 3*n : 3*n]
+	wp.extLo = b[3*n : 4*n : 4*n]
+	wp.extHi = b[4*n : 5*n : 5*n]
+	wp.rowOf = w.carveInt(n)
 	if wp.cell < 0 {
-		cx, cy, ax, lo, hi, r := geomFor(p.SiteX[c.Inst], p.Row[c.Inst], p.Flip[c.Inst])
-		wp.centerX = []int64{cx}
-		wp.centerY = []int64{cy}
-		wp.alignX = []int64{ax}
-		wp.extLo = []int64{lo}
-		wp.extHi = []int64{hi}
-		wp.rowOf = []int{r}
+		wp.centerX[0], wp.centerY[0], wp.alignX[0], wp.extLo[0], wp.extHi[0], wp.rowOf[0] =
+			geomFor(p.SiteX[c.Inst], p.Row[c.Inst], p.Flip[c.Inst])
 		return wp
 	}
-	cs := w.cand[wp.cell]
-	wp.centerX = make([]int64, len(cs))
-	wp.centerY = make([]int64, len(cs))
-	wp.alignX = make([]int64, len(cs))
-	wp.extLo = make([]int64, len(cs))
-	wp.extHi = make([]int64, len(cs))
-	wp.rowOf = make([]int, len(cs))
-	for k, cd := range cs {
+	for k, cd := range w.cand[wp.cell] {
 		wp.centerX[k], wp.centerY[k], wp.alignX[k], wp.extLo[k], wp.extHi[k], wp.rowOf[k] =
 			geomFor(cd.site, cd.row, cd.flip)
 	}
@@ -293,14 +415,18 @@ func (w *window) makePin(c netlist.Conn) winPin {
 func (w *window) collectNetsAndPairs() {
 	p := w.p
 	d := p.Design
-	seen := map[int]*winNet{}
+	if w.netSeen == nil {
+		w.netSeen = map[int]*winNet{}
+	}
+	seen := w.netSeen
 	for _, i := range w.movable {
 		for _, ni := range d.Insts[i].PinNets {
 			if ni < 0 || d.Nets[ni].IsClock || seen[ni] != nil {
 				continue
 			}
-			seen[ni] = w.buildNet(ni)
-			w.nets = append(w.nets, seen[ni])
+			wn := w.buildNet(ni)
+			seen[ni] = wn
+			w.nets = append(w.nets, wn)
 		}
 	}
 	for _, wn := range w.nets {
@@ -308,12 +434,37 @@ func (w *window) collectNetsAndPairs() {
 	}
 }
 
+// newNet carves a winNet from the net slab, reusing the entry's terminal
+// slices when the slot has served a previous window.
+func (w *window) newNet(ni int) *winNet {
+	if len(w.netSlab) < cap(w.netSlab) {
+		w.netSlab = w.netSlab[:len(w.netSlab)+1]
+	} else {
+		w.netSlab = append(w.netSlab, winNet{})
+	}
+	wn := &w.netSlab[len(w.netSlab)-1]
+	*wn = winNet{ni: ni, terms: wn.terms[:0], movable: wn.movable[:0]}
+	wn.fxMin, wn.fyMin = int64(1)<<62, int64(1)<<62
+	wn.fxMax, wn.fyMax = -(int64(1) << 62), -(int64(1) << 62)
+	return wn
+}
+
+// newPair carves a winPair from the pair slab.
+func (w *window) newPair(wn *winNet, p, q winPin) *winPair {
+	if len(w.pairSlab) < cap(w.pairSlab) {
+		w.pairSlab = w.pairSlab[:len(w.pairSlab)+1]
+	} else {
+		w.pairSlab = append(w.pairSlab, winPair{})
+	}
+	pr := &w.pairSlab[len(w.pairSlab)-1]
+	*pr = winPair{net: wn, p: p, q: q}
+	return pr
+}
+
 func (w *window) buildNet(ni int) *winNet {
 	p := w.p
 	d := p.Design
-	wn := &winNet{ni: ni}
-	wn.fxMin, wn.fyMin = int64(1)<<62, int64(1)<<62
-	wn.fxMax, wn.fyMax = -(int64(1) << 62), -(int64(1) << 62)
+	wn := w.newNet(ni)
 	addFixed := func(x, y int64) {
 		wn.hasFixed = true
 		if x < wn.fxMin {
@@ -331,6 +482,7 @@ func (w *window) buildNet(ni int) *winNet {
 	}
 	d.Nets[ni].ForEachConn(func(c netlist.Conn) {
 		wp := w.makePin(c)
+		wn.terms = append(wn.terms, wp)
 		if wp.cell >= 0 {
 			wn.movable = append(wn.movable, wp)
 		} else {
@@ -350,23 +502,21 @@ func (w *window) buildNet(ni int) *winNet {
 // distance), which keeps the MILP compact on high-fanout nets.
 const maxPairsPerNet = 16
 
+// scoredPair ranks a candidate pair during buildPairs: terminal indices
+// into winNet.terms plus the selection keys.
+type scoredPair struct {
+	i, j  int
+	mm    bool // movable-movable
+	rdist int  // current row distance
+}
+
 // buildPairs enumerates the eligible (movable, movable) and (movable,
 // fixed-pin) pairs of a net, pruning pairs that cannot possibly align or
-// overlap under any candidate choice.
+// overlap under any candidate choice. The terminal views built by buildNet
+// are reused directly (ports are excluded there — they are not M1 pins).
 func (w *window) buildPairs(wn *winNet) {
-	d := w.p.Design
-	// All signal terminals (fixed pins rebuilt for pairing; ports excluded
-	// — they are not M1 pins).
-	var terms []winPin
-	d.Nets[wn.ni].ForEachConn(func(c netlist.Conn) {
-		terms = append(terms, w.makePin(c))
-	})
-	type scored struct {
-		pr    *winPair
-		mm    bool // movable-movable
-		rdist int  // current row distance
-	}
-	var cands []scored
+	terms := wn.terms
+	cands := w.scoreBuf[:0]
 	for i := 0; i < len(terms); i++ {
 		for j := i + 1; j < len(terms); j++ {
 			a, b := terms[i], terms[j]
@@ -385,8 +535,9 @@ func (w *window) buildPairs(wn *winNet) {
 			if rd < 0 {
 				rd = -rd
 			}
-			cands = append(cands, scored{
-				pr:    &winPair{net: wn, p: a, q: b},
+			cands = append(cands, scoredPair{
+				i:     i,
+				j:     j,
 				mm:    a.cell >= 0 && b.cell >= 0,
 				rdist: rd,
 			})
@@ -405,8 +556,9 @@ func (w *window) buildPairs(wn *winNet) {
 		cands = cands[:maxPairsPerNet]
 	}
 	for _, c := range cands {
-		w.pairs = append(w.pairs, c.pr)
+		w.pairs = append(w.pairs, w.newPair(wn, terms[c.i], terms[c.j]))
 	}
+	w.scoreBuf = cands[:0]
 }
 
 // pairFeasible conservatively tests whether any candidate combination can
@@ -437,6 +589,31 @@ func (w *window) pairFeasible(a, b winPin) bool {
 	loA, hiA := minMax64(a.alignX)
 	loB, hiB := minMax64(b.alignX)
 	return loA <= hiB && loB <= hiA
+}
+
+// grown returns s resized to length n, reusing its backing array when
+// capacity allows. Contents are unspecified.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// resliceAll returns s resized to n inner slices, each truncated to zero
+// length with its backing capacity preserved.
+func resliceAll[T any](s [][]T, n int) [][]T {
+	if cap(s) < n {
+		ns := make([][]T, n)
+		copy(ns, s[:cap(s)])
+		s = ns
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
 }
 
 func minMaxInt(v []int) (int, int) {

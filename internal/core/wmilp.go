@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"vm1place/internal/lp"
 	"vm1place/internal/milp"
@@ -102,7 +101,9 @@ func (w *window) pairState(pr *winPair, assign []int) (bool, int64) {
 // feasibleAssign reports whether an assignment is overlap-free within the
 // window (fixed blocks included).
 func (w *window) feasibleAssign(assign []int) bool {
-	occ := make([]bool, len(w.blocked))
+	sv := w.solver()
+	occ := grown(sv.occ, len(w.blocked))
+	sv.occ = occ
 	copy(occ, w.blocked)
 	for ci, i := range w.movable {
 		cd := w.cand[ci][assign[ci]]
@@ -143,65 +144,69 @@ func (w *window) solve() []int {
 // returns the LP, the MILP wrapper, the λ variable ids per cell and
 // candidate, and the constant objective offset K (window HPWL parts that
 // no candidate choice can affect and that are therefore kept out of the
-// model; modelObj = windowObj − K).
+// model; modelObj = windowObj − K). The models and every assembly buffer
+// come from the window's solve workspace, so a steady-state build
+// allocates nothing: AddRow copies its terms, which makes the single
+// reused row buffer safe.
 func (w *window) buildModel() (*lp.Model, *milp.Model, [][]int, float64) {
+	sv := w.solver()
 	t := w.p.Tech
-	m := lp.NewModel()
-	mm := milp.NewModel(m)
+	m, mm := sv.models()
 	inf := math.Inf(1)
 	gammaH := float64(int64(w.prm.alignGamma()) * t.RowHeight)
 
 	// λ variables, one exactly-one group per cell (Constraints 5-8 in SCP
 	// form).
-	lambda := make([][]int, len(w.movable))
+	lambda := grown(sv.lambda, len(w.movable))
+	sv.lamSlab = sv.lamSlab[:0]
+	tb := sv.tbuf[:0]
 	for ci, cs := range w.cand {
-		lambda[ci] = make([]int, len(cs))
-		terms := make([]lp.Term, len(cs))
+		start := len(sv.lamSlab)
+		tb = tb[:0]
 		for k := range cs {
 			v := m.AddVar(0, 1, w.candCost[ci][k], "l")
-			lambda[ci][k] = v
-			terms[k] = lp.Term{Var: v, Coef: 1}
+			sv.lamSlab = append(sv.lamSlab, v)
+			tb = append(tb, lp.Term{Var: v, Coef: 1})
 		}
-		m.AddRow(lp.EQ, 1, terms...)
+		lambda[ci] = sv.lamSlab[start:len(sv.lamSlab):len(sv.lamSlab)]
+		m.AddRow(lp.EQ, 1, tb...)
 		mm.AddGroup(lambda[ci])
 	}
+	sv.lambda = lambda
 
 	// Site occupancy (Constraint 9): each window site holds at most one
-	// candidate footprint.
-	occ := make(map[int][]lp.Term)
+	// candidate footprint. The buckets are dense over window occupancy
+	// indices and walked in ascending order — the same row order the
+	// previous sorted-key map walk produced — because row order steers
+	// simplex pivoting and must not vary run to run.
+	occT := resliceAll(sv.occTerms, len(w.blocked))
 	for ci, i := range w.movable {
 		wi := w.p.Design.Insts[i].Master.WidthSites
 		for k, cd := range w.cand[ci] {
 			for s := cd.site; s < cd.site+wi; s++ {
 				idx := w.occIdx(cd.row, s)
-				occ[idx] = append(occ[idx], lp.Term{Var: lambda[ci][k], Coef: 1})
+				occT[idx] = append(occT[idx], lp.Term{Var: lambda[ci][k], Coef: 1})
 			}
 		}
 	}
-	// Rows are added in sorted site order: map iteration order is random
-	// in Go, and row order steers simplex pivoting, so iterating the map
-	// directly would make window solutions vary run to run.
-	occKeys := make([]int, 0, len(occ))
-	for idx := range occ { // order-ok: keys are sorted below before any row is added
-		occKeys = append(occKeys, idx)
-	}
-	sort.Ints(occKeys)
-	for _, idx := range occKeys {
-		if terms := occ[idx]; len(terms) > 1 {
+	for _, terms := range occT {
+		if len(terms) > 1 {
 			m.AddRow(lp.LE, 1, terms...)
 		}
 	}
+	sv.occTerms = occT
 
-	// pinExpr returns the λ-terms and constant of a pin coordinate.
-	pinExpr := func(p winPin, vals []int64) ([]lp.Term, float64) {
+	// appendPin appends the λ-terms of a pin coordinate (scaled by sign)
+	// to dst and returns the pin's constant (fixed pins contribute no
+	// terms; the caller folds the constant into the RHS).
+	appendPin := func(dst []lp.Term, p winPin, vals []int64, sign float64) ([]lp.Term, float64) {
 		if p.cell < 0 {
-			return nil, float64(vals[0])
+			return dst, float64(vals[0])
 		}
-		terms := make([]lp.Term, len(vals))
 		for k, v := range vals {
-			terms[k] = lp.Term{Var: lambda[p.cell][k], Coef: float64(v)}
+			dst = append(dst, lp.Term{Var: lambda[p.cell][k], Coef: sign * float64(v)})
 		}
-		return terms, 0
+		return dst, 0
 	}
 
 	// Net bound variables and rows (Constraints 2-3; wn folded into the
@@ -218,23 +223,21 @@ func (w *window) buildModel() (*lp.Model, *milp.Model, [][]int, float64) {
 	constK := 0.0
 	for _, wn := range w.nets {
 		beta := w.prm.betaOf(wn.ni)
-		type axis struct {
-			vals     func(mp winPin) []int64
-			fLo, fHi int64 // fixed extremes (valid iff hasFixed)
-		}
-		axes := [2]axis{
-			{vals: func(mp winPin) []int64 { return mp.centerX }, fLo: wn.fxMin, fHi: wn.fxMax},
-			{vals: func(mp winPin) []int64 { return mp.centerY }, fLo: wn.fyMin, fHi: wn.fyMax},
-		}
-		for _, ax := range axes {
-			var contrib []winPin
+		for axi := 0; axi < 2; axi++ {
+			var fLo, fHi int64
+			if axi == 0 {
+				fLo, fHi = wn.fxMin, wn.fxMax
+			} else {
+				fLo, fHi = wn.fyMin, wn.fyMax
+			}
+			contrib := sv.contrib[:0]
 			lo, hi := -inf, inf
 			if wn.hasFixed {
-				lo, hi = float64(ax.fHi), float64(ax.fLo)
+				lo, hi = float64(fHi), float64(fLo)
 			}
 			for _, mp := range wn.movable {
-				cLo, cHi := minMax64(ax.vals(mp))
-				if wn.hasFixed && cLo >= ax.fLo && cHi <= ax.fHi {
+				cLo, cHi := minMax64(axisVals(mp, axi))
+				if wn.hasFixed && cLo >= fLo && cHi <= fHi {
 					continue // never defines the bound on this axis
 				}
 				contrib = append(contrib, mp)
@@ -242,18 +245,23 @@ func (w *window) buildModel() (*lp.Model, *milp.Model, [][]int, float64) {
 				hi = math.Min(hi, float64(cHi))
 			}
 			if len(contrib) == 0 {
+				sv.contrib = contrib
 				if wn.hasFixed {
-					constK += beta * float64(ax.fHi-ax.fLo)
+					constK += beta * float64(fHi-fLo)
 				}
 				continue
 			}
 			vmax := m.AddVar(lo, inf, beta, "max")
 			vmin := m.AddVar(-inf, hi, -beta, "min")
 			for _, mp := range contrib {
-				tv, _ := pinExpr(mp, ax.vals(mp))
-				m.AddRow(lp.GE, 0, append(negate(tv), lp.Term{Var: vmax, Coef: 1})...)
-				m.AddRow(lp.LE, 0, append(negate(tv), lp.Term{Var: vmin, Coef: 1})...)
+				tb = tb[:0]
+				tb, _ = appendPin(tb, mp, axisVals(mp, axi), -1)
+				tb = append(tb, lp.Term{Var: vmax, Coef: 1})
+				m.AddRow(lp.GE, 0, tb...)
+				tb[len(tb)-1] = lp.Term{Var: vmin, Coef: 1}
+				m.AddRow(lp.LE, 0, tb...)
 			}
+			sv.contrib = contrib[:0]
 		}
 	}
 
@@ -273,16 +281,26 @@ func (w *window) buildModel() (*lp.Model, *milp.Model, [][]int, float64) {
 			loPy, hiPy := minMax64(pr.p.centerY)
 			loQy, hiQy := minMax64(pr.q.centerY)
 			gy := float64(max64(hiPy-loQy, hiQy-loPy)) + 1
-			tp, cp := pinExpr(pr.p, pr.p.alignX)
-			tq, cq := pinExpr(pr.q, pr.q.alignX)
-			dx := append(append([]lp.Term{}, tp...), negate(tq)...)
-			m.AddRow(lp.LE, gx-cp+cq, append(dx, lp.Term{Var: d, Coef: gx})...)
-			m.AddRow(lp.GE, -gx-cp+cq, append(append([]lp.Term{}, dx...), lp.Term{Var: d, Coef: -gx})...)
-			typ, cpy := pinExpr(pr.p, pr.p.centerY)
-			tqy, cqy := pinExpr(pr.q, pr.q.centerY)
-			dy := append(append([]lp.Term{}, typ...), negate(tqy)...)
-			m.AddRow(lp.LE, gy+gammaH-cpy+cqy, append(dy, lp.Term{Var: d, Coef: gy})...)
-			m.AddRow(lp.GE, -gy-gammaH-cpy+cqy, append(append([]lp.Term{}, dy...), lp.Term{Var: d, Coef: -gy})...)
+			var cp, cq float64
+			tb = tb[:0]
+			tb, cp = appendPin(tb, pr.p, pr.p.alignX, 1)
+			tb, cq = appendPin(tb, pr.q, pr.q.alignX, -1)
+			n := len(tb)
+			tb = append(tb, lp.Term{Var: d, Coef: gx})
+			m.AddRow(lp.LE, gx-cp+cq, tb...)
+			tb = tb[:n]
+			tb = append(tb, lp.Term{Var: d, Coef: -gx})
+			m.AddRow(lp.GE, -gx-cp+cq, tb...)
+			var cpy, cqy float64
+			tb = tb[:0]
+			tb, cpy = appendPin(tb, pr.p, pr.p.centerY, 1)
+			tb, cqy = appendPin(tb, pr.q, pr.q.centerY, -1)
+			n = len(tb)
+			tb = append(tb, lp.Term{Var: d, Coef: gy})
+			m.AddRow(lp.LE, gy+gammaH-cpy+cqy, tb...)
+			tb = tb[:n]
+			tb = append(tb, lp.Term{Var: d, Coef: -gy})
+			m.AddRow(lp.GE, -gy-gammaH-cpy+cqy, tb...)
 		case tech.OpenM1:
 			// Constraints (11)-(14).
 			loPl, _ := minMax64(pr.p.extLo)
@@ -301,19 +319,33 @@ func (w *window) buildModel() (*lp.Model, *milp.Model, [][]int, float64) {
 			o := m.AddVar(0, spanX, -w.prm.Epsilon, "o")
 			v := m.AddVar(0, 1, 0, "v")
 			mm.MarkInt(v)
-			tpl, cpl := pinExpr(pr.p, pr.p.extLo)
-			tql, cql := pinExpr(pr.q, pr.q.extLo)
-			tph, cph := pinExpr(pr.p, pr.p.extHi)
-			tqh, cqh := pinExpr(pr.q, pr.q.extHi)
-			m.AddRow(lp.GE, cpl, append(negate(tpl), lp.Term{Var: a, Coef: 1})...)
-			m.AddRow(lp.GE, cql, append(negate(tql), lp.Term{Var: a, Coef: 1})...)
-			m.AddRow(lp.LE, cph, append(negate(tph), lp.Term{Var: b, Coef: 1})...)
-			m.AddRow(lp.LE, cqh, append(negate(tqh), lp.Term{Var: b, Coef: 1})...)
-			typ, cpy := pinExpr(pr.p, pr.p.centerY)
-			tqy, cqy := pinExpr(pr.q, pr.q.centerY)
-			dy := append(append([]lp.Term{}, typ...), negate(tqy)...)
-			m.AddRow(lp.LE, gammaH-cpy+cqy, append(dy, lp.Term{Var: v, Coef: -gy})...)
-			m.AddRow(lp.GE, -gammaH-cpy+cqy, append(append([]lp.Term{}, dy...), lp.Term{Var: v, Coef: gy})...)
+			var c float64
+			tb = tb[:0]
+			tb, c = appendPin(tb, pr.p, pr.p.extLo, -1)
+			tb = append(tb, lp.Term{Var: a, Coef: 1})
+			m.AddRow(lp.GE, c, tb...)
+			tb = tb[:0]
+			tb, c = appendPin(tb, pr.q, pr.q.extLo, -1)
+			tb = append(tb, lp.Term{Var: a, Coef: 1})
+			m.AddRow(lp.GE, c, tb...)
+			tb = tb[:0]
+			tb, c = appendPin(tb, pr.p, pr.p.extHi, -1)
+			tb = append(tb, lp.Term{Var: b, Coef: 1})
+			m.AddRow(lp.LE, c, tb...)
+			tb = tb[:0]
+			tb, c = appendPin(tb, pr.q, pr.q.extHi, -1)
+			tb = append(tb, lp.Term{Var: b, Coef: 1})
+			m.AddRow(lp.LE, c, tb...)
+			var cpy, cqy float64
+			tb = tb[:0]
+			tb, cpy = appendPin(tb, pr.p, pr.p.centerY, 1)
+			tb, cqy = appendPin(tb, pr.q, pr.q.centerY, -1)
+			n := len(tb)
+			tb = append(tb, lp.Term{Var: v, Coef: -gy})
+			m.AddRow(lp.LE, gammaH-cpy+cqy, tb...)
+			tb = tb[:n]
+			tb = append(tb, lp.Term{Var: v, Coef: gy})
+			m.AddRow(lp.GE, -gammaH-cpy+cqy, tb...)
 			// (13): o <= b - a - δ + G(1-d); o <= G·d.
 			m.AddRow(lp.LE, go1-float64(w.prm.DeltaDBU),
 				lp.Term{Var: o, Coef: 1}, lp.Term{Var: b, Coef: -1},
@@ -323,12 +355,22 @@ func (w *window) buildModel() (*lp.Model, *milp.Model, [][]int, float64) {
 			m.AddRow(lp.LE, 1, lp.Term{Var: d, Coef: 1}, lp.Term{Var: v, Coef: 1})
 		}
 	}
+	sv.tbuf = tb
 
 	return m, mm, lambda, constK
 }
 
+// axisVals selects a pin's candidate coordinates for axis 0 (x) or 1 (y).
+func axisVals(mp winPin, axi int) []int64 {
+	if axi == 0 {
+		return mp.centerX
+	}
+	return mp.centerY
+}
+
 // solveMILP builds and solves the paper's window MILP.
 func (w *window) solveMILP() []int {
+	sv := w.solver()
 	m, mm, lambda, constK := w.buildModel()
 
 	// Incumbent: the greedy coordinate-descent solution when it improves
@@ -345,13 +387,14 @@ func (w *window) solveMILP() []int {
 			start, curObj = g, gObj
 		}
 	}
-	incumbent := make([]float64, m.NumVars())
+	incumbent := grown(sv.incumbent, m.NumVars())
+	sv.incumbent = incumbent
+	clear(incumbent)
 	for ci, k := range start {
 		incumbent[lambda[ci][k]] = 1
 	}
 
-	decode := func(x []float64) []int {
-		assign := make([]int, len(w.movable))
+	decodeInto := func(assign []int, x []float64) {
 		for ci := range w.movable {
 			best, bestV := 0, -1.0
 			for k, v := range lambda[ci] {
@@ -362,15 +405,22 @@ func (w *window) solveMILP() []int {
 			}
 			assign[ci] = best
 		}
-		return assign
 	}
 
+	// The rounder's buffers are reused across calls: the branch-and-bound
+	// solver copies both the incumbent vector it keeps and any improving
+	// rounder result, so handing it the same backing array every time is
+	// safe.
 	rounder := func(x []float64) ([]float64, float64, bool) {
-		assign := decode(x)
+		assign := grown(sv.assign, len(w.movable))
+		sv.assign = assign
+		decodeInto(assign, x)
 		if !w.repair(assign, x, lambda) {
 			return nil, 0, false
 		}
-		vec := make([]float64, m.NumVars())
+		vec := grown(sv.vec, m.NumVars())
+		sv.vec = vec
+		clear(vec)
 		for ci, k := range assign {
 			vec[lambda[ci][k]] = 1
 		}
@@ -387,15 +437,17 @@ func (w *window) solveMILP() []int {
 	res := milp.Solve(mm, milp.Params{
 		MaxNodes:     w.prm.MaxNodes,
 		TimeLimit:    w.prm.TimeLimit,
+		Workers:      w.prm.SolverWorkers,
 		Incumbent:    incumbent,
 		IncumbentObj: curObj,
 		Rounder:      rounder,
-		Scratch:      w.scratch,
+		Scratch:      sv.arena,
 	})
 	if res.X == nil || res.Obj >= curObj-1e-6 {
 		return fallback
 	}
-	assign := decode(res.X)
+	assign := make([]int, len(w.movable))
+	decodeInto(assign, res.X)
 	if !w.feasibleAssign(assign) {
 		// Should not happen for MILP-feasible solutions; keep the best
 		// known assignment rather than corrupt the placement.
@@ -411,7 +463,9 @@ func (w *window) solveMILP() []int {
 // demoting cells to their next-best candidates (by LP value), finally their
 // current position. Returns false if no conflict-free completion is found.
 func (w *window) repair(assign []int, x []float64, lambda [][]int) bool {
-	occ := make([]bool, len(w.blocked))
+	sv := w.solver()
+	occ := grown(sv.occ, len(w.blocked))
+	sv.occ = occ
 	copy(occ, w.blocked)
 	place := func(ci, k int, commit bool) bool {
 		cd := w.cand[ci][k]
@@ -433,7 +487,8 @@ func (w *window) repair(assign []int, x []float64, lambda [][]int) bool {
 			continue
 		}
 		// Demote: candidates by LP value descending.
-		order := make([]int, len(w.cand[ci]))
+		order := grown(sv.order, len(w.cand[ci]))
+		sv.order = order
 		for k := range order {
 			order[k] = k
 		}
@@ -459,20 +514,16 @@ func (w *window) repair(assign []int, x []float64, lambda [][]int) bool {
 	return true
 }
 
-// negate returns terms with negated coefficients (fresh slice).
-func negate(ts []lp.Term) []lp.Term {
-	out := make([]lp.Term, len(ts))
-	for i, t := range ts {
-		out[i] = lp.Term{Var: t.Var, Coef: -t.Coef}
-	}
-	return out
-}
-
 // solveGreedy is the large-window fallback: coordinate-descent over cells,
 // each taking its best feasible candidate under the exact window objective.
+// The returned assignment is freshly allocated (it outlives the window's
+// pooled storage when used as a move source); all working state comes from
+// the solve workspace.
 func (w *window) solveGreedy() []int {
+	sv := w.solver()
 	assign := append([]int(nil), w.curCand...)
-	occ := make([]bool, len(w.blocked))
+	occ := grown(sv.occ, len(w.blocked))
+	sv.occ = occ
 	copy(occ, w.blocked)
 	mark := func(ci int, on bool) {
 		cd := w.cand[ci][assign[ci]]
@@ -495,15 +546,17 @@ func (w *window) solveGreedy() []int {
 		mark(ci, true)
 	}
 
-	// Per-cell objective slices for fast deltas.
-	netsOf := make([][]*winNet, len(w.movable))
-	pairsOf := make([][]*winPair, len(w.movable))
-	for _, wn := range w.nets {
-		seen := map[int]bool{}
+	// Per-cell objective slices for fast deltas. Membership dedup uses a
+	// stamp array (stamp[cell] == net index + 1) instead of a per-net map.
+	netsOf := resliceAll(sv.netsOf, len(w.movable))
+	pairsOf := resliceAll(sv.pairsOf, len(w.movable))
+	stamp := grown(sv.stamp, len(w.movable))
+	clear(stamp)
+	for nidx, wn := range w.nets {
 		for _, mp := range wn.movable {
-			if !seen[mp.cell] {
+			if stamp[mp.cell] != nidx+1 {
 				netsOf[mp.cell] = append(netsOf[mp.cell], wn)
-				seen[mp.cell] = true
+				stamp[mp.cell] = nidx + 1
 			}
 		}
 	}
@@ -515,6 +568,7 @@ func (w *window) solveGreedy() []int {
 			pairsOf[pr.q.cell] = append(pairsOf[pr.q.cell], pr)
 		}
 	}
+	sv.netsOf, sv.pairsOf, sv.stamp = netsOf, pairsOf, stamp
 	localObj := func(ci int) float64 {
 		v := w.candCost[ci][assign[ci]]
 		for _, wn := range netsOf[ci] {

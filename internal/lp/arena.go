@@ -20,6 +20,7 @@ type Arena struct {
 	// AddRow change the dimensions and invalidate the key; SetObj touches
 	// only the objective, which is copied fresh every solve).
 	model        *Model
+	modelGen     uint64
 	nVars, nRows int
 
 	cols    [][]entry
@@ -36,6 +37,7 @@ type Arena struct {
 	rowPtr []int32
 	rowCol []int32
 	rowVal []float64
+	rowCur []int32 // CSR fill cursor scratch (ensureRowMatrix)
 
 	// lu is the sparse basis factorization (factor.go). It persists
 	// across solves: a warm re-solve picks up the previous optimal basis's
@@ -88,6 +90,13 @@ func (a *Arena) SetDeadline(t time.Time) {
 	a.hasDL = !t.IsZero()
 }
 
+// InvalidateWarm drops the warm-start state, forcing the next solve through
+// the deterministic cold path regardless of what this arena solved before.
+// Parallel branch-and-bound uses it so a node relaxation's result is a pure
+// function of (model, bounds, hint) — independent of which worker's arena
+// solved it, and of what that arena solved previously.
+func (a *Arena) InvalidateWarm() { a.warm = false }
+
 // Stats returns the cumulative simplex-kernel counters of every solve that
 // used this arena (solves, pivots, refactorizations, fill-in, eta file
 // growth). See GlobalStats for the process-wide aggregate.
@@ -108,9 +117,9 @@ func (a *Arena) bind(m *Model) bool {
 	if a.lu == nil {
 		a.lu = &luFactor{}
 	}
-	cached := a.model == m && a.nVars == n && a.nRows == rows
+	cached := a.model == m && a.modelGen == m.gen && a.nVars == n && a.nRows == rows
 	if !cached {
-		a.model, a.nVars, a.nRows = m, n, rows
+		a.model, a.modelGen, a.nVars, a.nRows = m, m.gen, n, rows
 		a.warm = false
 		a.lu.reset(rows)
 		a.cols = growSlice(a.cols, nTotal)
@@ -176,7 +185,9 @@ func (a *Arena) ensureRowMatrix() {
 	nnz := int(a.rowPtr[rows])
 	a.rowCol = growSlice(a.rowCol, nnz)
 	a.rowVal = growSlice(a.rowVal, nnz)
-	cur := append([]int32(nil), a.rowPtr[:rows]...)
+	a.rowCur = growSlice(a.rowCur, rows)
+	cur := a.rowCur
+	copy(cur, a.rowPtr[:rows])
 	for j := 0; j < a.nVars; j++ {
 		for _, e := range m.cols[j] {
 			p := cur[e.row]

@@ -149,6 +149,15 @@ type luFactor struct {
 	colDone []bool
 	csing   []int32 // queue of columns whose live count dropped to 1
 
+	// Fill-in overflow arena: a row (or column incidence list) that outgrows
+	// its exact-capacity carve from the backing arrays above is moved here
+	// instead of reallocating on the heap. The arena is bump-allocated per
+	// factorization and its backing is kept across calls, so once it reaches
+	// the high-water fill of a window's bases, factorize allocates nothing.
+	ovCol []int32
+	ovVal []float64
+	ovPos int
+
 	// Solve scratch: tmp is the step-ordered intermediate of the
 	// triangular solves; dense is a spare row/slot-space vector.
 	tmp   []float64
@@ -207,6 +216,7 @@ func (f *luFactor) needsRefactor() bool {
 // caller must then rebuild from a basis it can factor.
 func (f *luFactor) factorize(cols [][]entry, basis []int) bool {
 	m := f.m
+	f.ovPos = 0
 	f.clearEtas()
 	f.lptr = append(f.lptr[:0], 0)
 	f.lrow = f.lrow[:0]
@@ -366,6 +376,11 @@ func (f *luFactor) factorize(cols [][]entry, basis []int) bool {
 			for t, c := range rc {
 				val[c] = rv[t]
 			}
+			// Fill can add up to len(uRowC) entries; rows carved at exact
+			// capacity move to the overflow arena instead of reallocating.
+			if cap(rc) < len(rc)+len(uRowC) {
+				rc, rv = f.overflowRow(rc, rv, len(rc)+len(uRowC))
+			}
 			nc, nv := rc, rv
 			for t, c := range uRowC {
 				if val[c] != 0 {
@@ -379,6 +394,9 @@ func (f *luFactor) factorize(cols [][]entry, basis []int) bool {
 				val[c] = fill
 				nc = append(nc, c)
 				nv = append(nv, 0) // value gathered below
+				if len(f.colRows[c]) == cap(f.colRows[c]) {
+					f.colRows[c] = f.overflowCol(f.colRows[c])
+				}
 				f.colRows[c] = append(f.colRows[c], ri)
 				f.colCnt[c]++
 			}
@@ -446,6 +464,46 @@ func (f *luFactor) factorize(cols [][]entry, basis []int) bool {
 	f.stats.Refactors++
 	f.stats.FillNnz += int64(f.nnzLU)
 	return true
+}
+
+// ovCarve reserves c entries in the overflow arena and returns their start
+// offset. When the arena is full it reallocates fresh backing: carves
+// already handed out keep referencing the old arrays (rows are independent
+// slices), and the larger backing is what later factorizations reuse.
+func (f *luFactor) ovCarve(c int) int {
+	if f.ovPos+c > len(f.ovCol) {
+		n := 2 * (f.ovPos + c)
+		if n < 1024 {
+			n = 1024
+		}
+		f.ovCol = make([]int32, n)
+		f.ovVal = make([]float64, n)
+		f.ovPos = 0
+	}
+	at := f.ovPos
+	f.ovPos += c
+	return at
+}
+
+// overflowRow moves a live row into the overflow arena with capacity for
+// want entries plus headroom for further fill.
+func (f *luFactor) overflowRow(rc []int32, rv []float64, want int) ([]int32, []float64) {
+	c := want + want/2 + 8
+	at := f.ovCarve(c)
+	nc := f.ovCol[at : at+len(rc) : at+c]
+	nv := f.ovVal[at : at+len(rc) : at+c]
+	copy(nc, rc)
+	copy(nv, rv)
+	return nc, nv
+}
+
+// overflowCol doubles a full column incidence list into the overflow arena.
+func (f *luFactor) overflowCol(cr []int32) []int32 {
+	c := 2*len(cr) + 8
+	at := f.ovCarve(c)
+	ncr := f.ovCol[at : at+len(cr) : at+c]
+	copy(ncr, cr)
+	return ncr
 }
 
 // pickPivot selects the next Markowitz pivot: among the live columns with

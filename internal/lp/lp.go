@@ -104,12 +104,33 @@ type Model struct {
 	// cols[j] holds the sparse column of structural variable j.
 	cols [][]entry
 
+	// gen distinguishes logical models sharing one reused *Model (Reset
+	// bumps it), so an Arena's pointer-keyed cache cannot mistake a rebuilt
+	// model for the one it bound earlier.
+	gen uint64
+
 	// MaxIters bounds simplex iterations per phase; 0 means automatic.
 	MaxIters int
 }
 
 // NewModel returns an empty model.
 func NewModel() *Model { return &Model{} }
+
+// Reset empties the model for rebuilding in place, keeping the per-variable
+// column backing so a pooled model's AddVar/AddRow steady state is
+// allocation-free. Any Arena bound to the old contents re-binds cold on its
+// next solve (the generation bump invalidates the pointer-keyed cache).
+func (m *Model) Reset() {
+	m.gen++
+	m.obj = m.obj[:0]
+	m.lo = m.lo[:0]
+	m.hi = m.hi[:0]
+	m.names = m.names[:0]
+	m.sense = m.sense[:0]
+	m.rhs = m.rhs[:0]
+	m.cols = m.cols[:0]
+	m.MaxIters = 0
+}
 
 // NumVars returns the number of structural variables.
 func (m *Model) NumVars() int { return len(m.obj) }
@@ -127,7 +148,14 @@ func (m *Model) AddVar(lo, hi, obj float64, name string) int {
 	m.lo = append(m.lo, lo)
 	m.hi = append(m.hi, hi)
 	m.names = append(m.names, name)
-	m.cols = append(m.cols, nil)
+	// Re-extend over a Reset model's column backing instead of appending
+	// nil, so pooled models keep their per-column entry storage.
+	if len(m.cols) < cap(m.cols) {
+		m.cols = m.cols[:len(m.cols)+1]
+		m.cols[len(m.cols)-1] = m.cols[len(m.cols)-1][:0]
+	} else {
+		m.cols = append(m.cols, nil)
+	}
 	return len(m.obj) - 1
 }
 
@@ -151,16 +179,25 @@ func (m *Model) AddRow(sense Sense, rhs float64, terms ...Term) int {
 	r := len(m.rhs)
 	m.sense = append(m.sense, sense)
 	m.rhs = append(m.rhs, rhs)
-	merged := map[int]float64{}
+	// Merge in place: a column's last entry carries row r exactly when this
+	// row already touched that variable, so duplicates fold without a map
+	// (and without its per-row allocation).
 	for _, t := range terms {
 		if t.Var < 0 || t.Var >= len(m.obj) {
 			panic(fmt.Sprintf("lp: row %d references unknown variable %d", r, t.Var)) // panic-ok: invariant
 		}
-		merged[t.Var] += t.Coef
+		col := m.cols[t.Var]
+		if k := len(col); k > 0 && col[k-1].row == r {
+			col[k-1].val += t.Coef
+		} else {
+			m.cols[t.Var] = append(col, entry{row: r, val: t.Coef})
+		}
 	}
-	for j, v := range merged {
-		if v != 0 {
-			m.cols[j] = append(m.cols[j], entry{row: r, val: v})
+	// Drop entries that merged (or started) to exactly zero.
+	for _, t := range terms {
+		col := m.cols[t.Var]
+		if k := len(col); k > 0 && col[k-1].row == r && col[k-1].val == 0 {
+			m.cols[t.Var] = col[:k-1]
 		}
 	}
 	return r

@@ -73,14 +73,31 @@ type Model struct {
 // NewModel wraps an LP model.
 func NewModel(m *lp.Model) *Model { return &Model{LP: m} }
 
+// Reset re-targets the wrapper at an LP model and clears the integrality
+// marks, retaining group storage so a pooled wrapper can be rebuilt
+// without allocating.
+func (m *Model) Reset(lpm *lp.Model) {
+	m.LP = lpm
+	m.Ints = m.Ints[:0]
+	m.Groups = m.Groups[:0]
+}
+
 // MarkInt requires variable j to be integral.
 func (m *Model) MarkInt(j int) { m.Ints = append(m.Ints, j) }
 
 // AddGroup registers an exactly-one binary group for branching and marks
-// its members integral.
+// its members integral. The group is copied; after a Reset, freed group
+// slices are reused in place.
 func (m *Model) AddGroup(vars []int) {
-	g := append([]int(nil), vars...)
-	m.Groups = append(m.Groups, g)
+	var g []int
+	if len(m.Groups) < cap(m.Groups) {
+		m.Groups = m.Groups[:len(m.Groups)+1]
+		g = append(m.Groups[len(m.Groups)-1][:0], vars...)
+	} else {
+		g = append([]int(nil), vars...)
+		m.Groups = append(m.Groups, nil)
+	}
+	m.Groups[len(m.Groups)-1] = g
 	m.Ints = append(m.Ints, g...)
 }
 
@@ -106,6 +123,10 @@ type Params struct {
 	// one DistOpt worker's window sequence). nil allocates a private one,
 	// so arena reuse within a solve is always on.
 	Scratch *lp.Arena
+	// Workers >= 2 explores the tree with that many speculative LP solvers
+	// under canonical-order commits (parallel.go); the result is identical
+	// for any such count. <= 1 runs the sequential solver.
+	Workers int
 }
 
 // Result is the outcome of a Solve.
@@ -221,6 +242,10 @@ func Solve(m *Model, p Params) Result {
 	s.scratch = p.Scratch
 	if s.scratch == nil {
 		s.scratch = lp.NewArena()
+	}
+	if p.Workers > 1 {
+		// Parallel mode arms the deadline on every worker arena itself.
+		return solveParallel(m, p, s)
 	}
 	if s.hasDL {
 		// Interrupt long individual relaxation solves too (a big window's
@@ -392,37 +417,10 @@ func (s *solver) branchVar(lo, hi []float64, j int, x []float64) (float64, float
 // explores "winner in S" and "winner in complement" children. Fixed-to-zero
 // members (hi already 0) stay fixed in both children.
 func (s *solver) branchGroup(lo, hi []float64, gi int, x []float64) (float64, float64) {
-	g := s.m.Groups[gi]
-	// Active members sorted by LP value descending (selection sort on a
-	// pooled buffer; groups are small).
-	active := s.getInts(len(g))
-	for _, j := range g {
-		if hi[j] > 0.5 {
-			active = append(active, j)
-		}
-	}
-	for i := 0; i < len(active); i++ {
-		for k := i + 1; k < len(active); k++ {
-			if x[active[k]] > x[active[i]] {
-				active[i], active[k] = active[k], active[i]
-			}
-		}
-	}
-	// S takes members greedily until it holds at least half the LP mass,
-	// which balances the children. After the sort S is exactly
-	// active[:cut], so membership is positional — no set needed.
-	var mass, total float64
-	for _, j := range active {
-		total += x[j]
-	}
-	cut := 0
-	for cut < len(active)-1 {
-		mass += x[active[cut]]
-		cut++
-		if mass >= total/2 {
-			break
-		}
-	}
+	// Active members sorted by LP value descending; S = active[:cut] holds
+	// at least half the LP mass, which balances the children (groupSplit,
+	// shared with the parallel committer so both branch identically).
+	active, cut := groupSplit(s, s.m.Groups[gi], hi, x)
 
 	// Child A: winner inside S (zero the complement).
 	hiA := s.getBounds(hi)

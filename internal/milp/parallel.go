@@ -1,0 +1,400 @@
+package milp
+
+// Parallel branch and bound: speculative node solves under canonical-order
+// commits.
+//
+// The scheme mirrors PR 3's router (conflict-free work in parallel,
+// deterministic commits in a fixed order). A committer goroutine replays
+// exactly the sequential solver's depth-first traversal — budget checks,
+// prune tests, reduced-cost fixing, incumbent updates, rounder calls and
+// branching all happen on the committer in the order the recursive solver
+// would perform them. What runs in parallel is the only part of a node
+// that does not depend on that order: its LP relaxation. Workers claim
+// pending nodes from the DFS stack (top first, the next to commit) and
+// solve their relaxations speculatively; every stacked node is one the
+// sequential traversal would also solve before examining, so speculation
+// never wastes a solve on untimed runs.
+//
+// Determinism. A worker's arena is forced cold before every node
+// (lp.Arena.InvalidateWarm), making each relaxation a pure function of
+// (model, bounds, hint) — independent of which worker solves it, when, and
+// what its arena solved before. Since the committer alone advances the
+// search state, the explored tree, the incumbent sequence and the final
+// result are identical for any worker count ≥ 2. Workers=1 keeps the
+// sequential solver with its warm-started dual re-solves; the two regimes
+// agree whenever node relaxations have unique optima (the RHS perturbation
+// in lp makes ties vanishingly rare — the worker-invariance test checks
+// this on a window-MILP corpus).
+//
+// Timed runs (TimeLimit > 0) remain wall-clock dependent in parallel mode
+// exactly as they are sequentially: the deadline decides how much of the
+// tree is visited, not how any visited node resolves.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vm1place/internal/lp"
+)
+
+// pnode is one branch-and-bound subproblem awaiting commit. Bounds are
+// owned by the node; hint is shared read-only with its siblings (the parent
+// relaxation's vertex).
+type pnode struct {
+	lo, hi []float64
+	hint   []float64
+
+	// claimed is set by the one agent (worker or committer) that solves
+	// the relaxation; done closes when the solution below is filled.
+	claimed atomic.Bool
+	done    chan struct{}
+
+	status lp.Status
+	obj    float64
+	x      []float64 // owned (fresh per solve)
+	red    []float64 // owned copy of the arena-backed reduced costs
+
+	// Bound bookkeeping for Result.BestBound: a committed leaf folds its
+	// bound into parent; a branched node folds min(children) once kids
+	// reaches zero.
+	parent *pnode
+	kids   int
+	bound  float64
+}
+
+// psolver runs the committer loop and owns the shared stack.
+type psolver struct {
+	seq *solver // sequential state machine: incumbent, budgets, pools
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	stack []*pnode
+	quit  bool
+}
+
+// workerArenas recycles LP arenas across parallel solves process-wide; a
+// DistOpt pass solves thousands of window MILPs and per-solve arenas would
+// rebuild the factorization scratch every time. Which arena a worker gets
+// is irrelevant to results: parallel node solves always run cold.
+var workerArenas = sync.Pool{New: func() any { return lp.NewArena() }}
+
+// solveParallel is Solve for Workers >= 2.
+func solveParallel(m *Model, p Params, s *solver) Result {
+	ps := &psolver{seq: s}
+	ps.cond = sync.NewCond(&ps.mu)
+
+	var wg sync.WaitGroup
+	for i := 0; i < p.Workers; i++ {
+		a := workerArenas.Get().(*lp.Arena)
+		wg.Add(1)
+		go func(a *lp.Arena) {
+			defer wg.Done()
+			defer workerArenas.Put(a)
+			ps.worker(a)
+		}(a)
+	}
+
+	lo, hi := m.LP.Bounds()
+	root := &pnode{lo: lo, hi: hi, hint: p.Incumbent, done: make(chan struct{}), bound: math.Inf(1)}
+	ps.push(root)
+
+	rootBound := ps.commitLoop(root)
+
+	ps.mu.Lock()
+	ps.quit = true
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+	wg.Wait()
+
+	if !s.aborted {
+		s.bestBound = rootBound
+	}
+	switch {
+	case s.hasBest && !s.aborted:
+		return Result{Status: Optimal, Obj: s.bestObj, X: s.bestX, Nodes: s.nodes, BestBound: s.bestBound}
+	case s.hasBest:
+		return Result{Status: Feasible, Obj: s.bestObj, X: s.bestX, Nodes: s.nodes, BestBound: s.bestBound}
+	case !s.aborted:
+		return Result{Status: Infeasible, Nodes: s.nodes, BestBound: s.bestBound}
+	default:
+		return Result{Status: Limit, Nodes: s.nodes, BestBound: s.bestBound}
+	}
+}
+
+// push adds a node to the shared stack and wakes a worker.
+func (ps *psolver) push(n *pnode) {
+	ps.mu.Lock()
+	ps.stack = append(ps.stack, n)
+	ps.cond.Signal()
+	ps.mu.Unlock()
+}
+
+// pop removes and returns the canonical next node (stack top); the
+// committer is its only caller.
+func (ps *psolver) pop() *pnode {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	k := len(ps.stack)
+	if k == 0 {
+		return nil
+	}
+	n := ps.stack[k-1]
+	ps.stack[k-1] = nil
+	ps.stack = ps.stack[:k-1]
+	return n
+}
+
+// worker claims unclaimed nodes nearest the stack top — the next to commit
+// — and solves their relaxations until told to quit.
+func (ps *psolver) worker(a *lp.Arena) {
+	if ps.seq.hasDL {
+		a.SetDeadline(ps.seq.deadline)
+		defer a.SetDeadline(time.Time{})
+	}
+	for {
+		ps.mu.Lock()
+		var n *pnode
+		for {
+			if ps.quit {
+				ps.mu.Unlock()
+				return
+			}
+			for i := len(ps.stack) - 1; i >= 0; i-- {
+				c := ps.stack[i]
+				if c.claimed.CompareAndSwap(false, true) {
+					n = c
+					break
+				}
+			}
+			if n != nil {
+				break
+			}
+			ps.cond.Wait()
+		}
+		ps.mu.Unlock()
+		solveNode(ps.seq.m, n, a)
+	}
+}
+
+// solveNode runs a node's LP relaxation cold and publishes the result.
+func solveNode(m *Model, n *pnode, a *lp.Arena) {
+	a.InvalidateWarm()
+	sol := m.LP.SolveWithScratch(n.lo, n.hi, n.hint, a)
+	n.status = sol.Status
+	n.obj = sol.Obj
+	n.x = sol.X // freshly allocated per solve; safe to keep
+	if sol.RedCost != nil {
+		// RedCost is arena-owned and dies at the arena's next solve.
+		n.red = append([]float64(nil), sol.RedCost...)
+	}
+	close(n.done)
+}
+
+// commitLoop is the canonical traversal: it processes the stack top in
+// sequential DFS order, applying every search-state transition the
+// recursive solver would. Returns the root's proven bound.
+func (ps *psolver) commitLoop(root *pnode) float64 {
+	s := ps.seq
+	commitArena := s.scratch
+	if s.hasDL {
+		commitArena.SetDeadline(s.deadline)
+		defer commitArena.SetDeadline(time.Time{})
+	}
+	for {
+		n := ps.pop()
+		if n == nil {
+			break
+		}
+		if s.nodes >= s.maxNodes || (s.hasDL && time.Now().After(s.deadline)) {
+			s.aborted = true
+			break
+		}
+		s.nodes++
+
+		// The committer solves unclaimed tops itself instead of waiting for
+		// a worker to pick them up (with few workers the top is often still
+		// unclaimed when its commit turn arrives).
+		if n.claimed.CompareAndSwap(false, true) {
+			solveNode(s.m, n, commitArena)
+		} else {
+			<-n.done
+		}
+
+		switch n.status {
+		case lp.Infeasible:
+			ps.finalize(n, math.Inf(1))
+			continue
+		case lp.Unbounded, lp.IterLimit:
+			// Same conservative reading as the sequential solver: stop the
+			// search, keep the incumbent, claim no bound.
+			s.aborted = true
+			ps.finalize(n, math.Inf(-1))
+			goto done
+		}
+		if s.hasBest && n.obj >= s.bestObj-s.p.AbsGap {
+			ps.finalize(n, n.obj) // pruned by bound
+			continue
+		}
+
+		// Reduced-cost fixing against the canonical incumbent; the node owns
+		// its bounds, so fixing mutates them in place for the subtree.
+		if s.hasBest && n.red != nil {
+			gap := s.bestObj - s.p.AbsGap - n.obj
+			for _, j := range s.m.Ints {
+				if n.lo[j] >= n.hi[j] {
+					continue
+				}
+				d := n.red[j]
+				if d > gap && n.x[j] <= n.lo[j]+intTol {
+					n.hi[j] = n.lo[j]
+				} else if -d > gap && n.x[j] >= n.hi[j]-intTol {
+					n.lo[j] = n.hi[j]
+				}
+			}
+		}
+
+		fracVar := s.mostFractional(n.x)
+		if fracVar == -1 {
+			if !s.hasBest || n.obj < s.bestObj {
+				s.bestObj = n.obj
+				s.bestX = append(s.bestX[:0], n.x...)
+				s.hasBest = true
+			}
+			ps.finalize(n, n.obj)
+			continue
+		}
+
+		if s.p.Rounder != nil {
+			if rx, robj, ok := s.p.Rounder(n.x); ok {
+				if !s.hasBest || robj < s.bestObj {
+					s.bestObj = robj
+					s.bestX = append(s.bestX[:0], rx...)
+					s.hasBest = true
+				}
+			}
+		}
+
+		ps.branch(n, fracVar)
+	}
+done:
+	return root.bound
+}
+
+// finalize records a committed node's proven bound and folds completed
+// subtrees into their parents (a branched node's bound is the min over its
+// children, matching the sequential solver's return value), releasing
+// bound vectors to the pool.
+func (ps *psolver) finalize(n *pnode, bound float64) {
+	s := ps.seq
+	if bound < n.bound {
+		n.bound = bound
+	}
+	for {
+		s.putBounds(n.lo, n.hi)
+		n.lo, n.hi = nil, nil
+		p := n.parent
+		if p == nil {
+			return
+		}
+		if n.bound < p.bound {
+			p.bound = n.bound
+		}
+		if p.kids--; p.kids > 0 {
+			return
+		}
+		n = p
+	}
+}
+
+// branch creates a node's children in sequential order and pushes them for
+// speculative solving (second child first, so the stack pops the first
+// child next — the order the recursive solver explores).
+func (ps *psolver) branch(n *pnode, fracVar int) {
+	s := ps.seq
+	var kids []*pnode
+	child := func(lo, hi []float64) *pnode {
+		return &pnode{lo: lo, hi: hi, hint: n.x, parent: n,
+			done: make(chan struct{}), bound: math.Inf(1)}
+	}
+	if gi := s.inGroup[fracVar]; gi >= 0 {
+		active, cut := groupSplit(s, s.m.Groups[gi], n.hi, n.x)
+		// Child A: winner inside S; child B: winner in the complement.
+		hiA := s.getBounds(n.hi)
+		for _, j := range active[cut:] {
+			hiA[j] = 0
+		}
+		hiB := s.getBounds(n.hi)
+		for _, j := range active[:cut] {
+			hiB[j] = 0
+		}
+		s.putInts(active)
+		kids = append(kids,
+			child(s.getBounds(n.lo), hiA),
+			child(s.getBounds(n.lo), hiB))
+	} else {
+		fl := math.Floor(n.x[fracVar])
+		if n.lo[fracVar] <= fl {
+			hi2 := s.getBounds(n.hi)
+			hi2[fracVar] = fl
+			kids = append(kids, child(s.getBounds(n.lo), hi2))
+		}
+		if n.hi[fracVar] >= fl+1 {
+			lo2 := s.getBounds(n.lo)
+			lo2[fracVar] = fl + 1
+			kids = append(kids, child(lo2, s.getBounds(n.hi)))
+		}
+	}
+	if len(kids) == 0 {
+		ps.finalize(n, math.Inf(1))
+		return
+	}
+	n.kids = len(kids)
+	// Parent bound vectors are dead once the children copied them; the node
+	// itself stays live for bound folding.
+	s.putBounds(n.lo, n.hi)
+	n.lo, n.hi = nil, nil
+	ps.mu.Lock()
+	for i := len(kids) - 1; i >= 0; i-- {
+		ps.stack = append(ps.stack, kids[i])
+	}
+	if len(kids) > 1 {
+		ps.cond.Broadcast()
+	} else {
+		ps.cond.Signal()
+	}
+	ps.mu.Unlock()
+}
+
+// groupSplit computes branchGroup's balanced partition of an exactly-one
+// group: the active (unfixed) members sorted by LP value descending, and
+// the cut index such that active[:cut] holds at least half the LP mass.
+// The returned slice comes from the solver's int pool.
+func groupSplit(s *solver, g []int, hi, x []float64) (active []int, cut int) {
+	active = s.getInts(len(g))
+	for _, j := range g {
+		if hi[j] > 0.5 {
+			active = append(active, j)
+		}
+	}
+	for i := 0; i < len(active); i++ {
+		for k := i + 1; k < len(active); k++ {
+			if x[active[k]] > x[active[i]] {
+				active[i], active[k] = active[k], active[i]
+			}
+		}
+	}
+	var mass, total float64
+	for _, j := range active {
+		total += x[j]
+	}
+	for cut < len(active)-1 {
+		mass += x[active[cut]]
+		cut++
+		if mass >= total/2 {
+			break
+		}
+	}
+	return active, cut
+}
