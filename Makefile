@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint test race bench-smoke bench-json bench-core bench-route
+.PHONY: check vet lint test race bench-smoke bench-proxy bench-json bench-core bench-route
 
 check: vet lint test race bench-smoke
 
@@ -26,12 +26,19 @@ test:
 # batched parallel router sharing live usage arrays, and the pipeline /
 # parallel-sweep layers (flow, expt) that fan work out over them.
 race:
-	$(GO) test -race -timeout 20m ./internal/core/... ./internal/lp/... ./internal/milp/... ./internal/route/... ./internal/flow/... ./internal/expt/...
+	$(GO) test -race -timeout 30m ./internal/core/... ./internal/lp/... ./internal/milp/... ./internal/route/... ./internal/flow/... ./internal/expt/...
 
 # One iteration of each substrate microbenchmark — a fast sanity pass that
 # the benchmarks still build and run, not a measurement.
-bench-smoke:
+bench-smoke: bench-proxy
 	$(GO) test -run '^$$' -bench 'DistOptPass|LPSolve|CalculateObj' -benchtime 1x -timeout 20m .
+
+# The congestion-proxy evaluation hot path (incremental update + full
+# window-grid scoring). Measured, not smoked: the guided selection design
+# budget is <= ~50 us per family evaluation with a zero-alloc steady state
+# (TestSteadyStateZeroAlloc in internal/proxy pins the alloc half).
+bench-proxy:
+	$(GO) test -run '^$$' -bench 'ProxyEval' -benchtime 100x -timeout 10m .
 
 bench-json:
 	BENCH_JSON=1 $(GO) test -run TestEmitBenchCoreJSON -timeout 30m -v .

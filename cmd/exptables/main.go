@@ -34,6 +34,7 @@ func run() error {
 	fig8 := flag.Bool("fig8", false, "congestion/DRV study")
 	table2 := flag.Bool("table2", false, "ExptB: full-design results")
 	ablate := flag.Bool("ablate", false, "sequential-vs-joint flip ablation")
+	guided := flag.Bool("guided", false, "uniform-vs-guided window budgeting sweep")
 	archStr := flag.String("arch", "closedm1", "architecture for -fig6")
 	scale := flag.Float64("scale", 0.1, "design scale factor (1.0 = paper instance counts)")
 	workers := flag.Int("workers", 8, "parallel window solvers")
@@ -110,6 +111,17 @@ func run() error {
 			r.Name,
 			float64(r.BaseRWL)/1000, r.BaseDM1, r.BaseSec,
 			float64(r.VarRWL)/1000, r.VarDM1, r.VarSec)
+		fmt.Println()
+	}
+
+	if *all || *guided {
+		any = true
+		fmt.Println("== Guided window selection (congestion proxy) ==")
+		pts, err := expt.RunGuidedSweep(cfg, nil)
+		if err != nil {
+			return err
+		}
+		expt.WriteGuidedSweep(os.Stdout, pts)
 		fmt.Println()
 	}
 

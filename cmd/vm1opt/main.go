@@ -32,6 +32,7 @@ import (
 	"vm1place/internal/expt"
 	"vm1place/internal/layout"
 	"vm1place/internal/lefdef"
+	"vm1place/internal/proxy"
 	"vm1place/internal/route"
 	"vm1place/internal/sta"
 	"vm1place/internal/tech"
@@ -55,6 +56,14 @@ func run() error {
 	workers := flag.Int("workers", 8, "parallel window solvers")
 	solverWorkers := flag.Int("solver-workers", 0,
 		"branch-and-bound workers inside each window MILP (0: sequential)")
+	guided := flag.Bool("guided", false,
+		"proxy-guided window selection: spend MILP budget hottest-family-first")
+	guidedCold := flag.Float64("guided-cold", 0,
+		"skip families scoring below this fraction of the hottest (0: default 0.01)")
+	guidedShrink := flag.Float64("guided-shrink", 0,
+		"budget floor multiplier for the coldest windows (0: default 0.25)")
+	guidedBoost := flag.Float64("guided-boost", 0,
+		"budget cap multiplier for the hottest windows (0: default 1.5)")
 	lefPath := flag.String("lef", "", "read library LEF (with -def)")
 	defPath := flag.String("def", "", "read placed DEF (with -lef)")
 	outPath := flag.String("out", "", "write optimized DEF to this path")
@@ -78,11 +87,15 @@ func run() error {
 	}
 
 	cfg := expt.FlowConfig{
-		Arch:          arch,
-		Util:          *util,
-		Sequence:      seq,
-		Workers:       *workers,
-		SolverWorkers: *solverWorkers,
+		Arch:           arch,
+		Util:           *util,
+		Sequence:       seq,
+		Workers:        *workers,
+		SolverWorkers:  *solverWorkers,
+		Guided:         *guided,
+		GuidedColdFrac: *guidedCold,
+		GuidedShrink:   *guidedShrink,
+		GuidedBoostCap: *guidedBoost,
 	}
 	if *alpha >= 0 {
 		cfg.Alpha = *alpha
@@ -158,6 +171,16 @@ func runOnDEF(ctx context.Context, lefPath, defPath, outPath string, cfg expt.Fl
 	}
 	if cfg.Workers > 0 {
 		prm.Workers = cfg.Workers
+	}
+	if cfg.Guided {
+		// DEF path has no init-route feedback stage; the estimator runs
+		// uncalibrated (neutral per-region multipliers), which still ranks
+		// families by predicted congestion.
+		prm.Guided = true
+		prm.Proxy = proxy.New(p, proxy.DefaultConfig(t, cfg.Arch))
+		prm.GuidedColdFrac = cfg.GuidedColdFrac
+		prm.GuidedShrink = cfg.GuidedShrink
+		prm.GuidedBoostCap = cfg.GuidedBoostCap
 	}
 	seq := cfg.Sequence
 	if seq == nil {

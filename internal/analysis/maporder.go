@@ -46,6 +46,9 @@ var deterministicPkgPrefixes = []string{
 	"vm1place/internal/route",
 	"vm1place/internal/place",
 	"vm1place/internal/wmilp",
+	// The congestion proxy feeds guided family selection, whose plan must
+	// be a pure function of the placement (see internal/core/guided.go).
+	"vm1place/internal/proxy",
 }
 
 func isDeterministicPkg(path string) bool {

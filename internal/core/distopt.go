@@ -50,6 +50,9 @@ func workersOf(prm Params) int {
 func DistOpt(p *layout.Placement, prm Params, ps ParamSet, tx, ty int64,
 	allowMove, allowFlip bool) Objective {
 	t := NewObjTracker(p, prm)
+	if prm.guided() {
+		t.AttachEstimator(prm.Proxy)
+	}
 	// ctx-ok: context-free compatibility entry point; cancellable callers use distPass via VM1OptCtx.
 	obj, _ := distPass(context.Background(), t, ps, makeGrid(p, ps, tx, ty),
 		newSolverPool(workersOf(prm)), allowMove, allowFlip)
@@ -104,13 +107,32 @@ func distPass(ctx context.Context, t *ObjTracker, ps ParamSet, g passGrid,
 		}
 	}
 
+	// Guided selection: score the windows with the QoR proxy and derive
+	// the family processing order, skip set and per-window budgets;
+	// otherwise run every family in diagonal order under the uniform
+	// budget. Reordering and skipping are safe for the build/solve
+	// pipeline below: windows of different families occupy disjoint
+	// rectangles and boundary straddlers are immovable, so a family's
+	// geometry stage is invariant under any other family's moves,
+	// whichever one runs first.
+	plan := uniformPlan(g, families, fprm.TimeLimit)
+	if prm.guided() {
+		plan = guidedPlan(prm, prm.Proxy, g, families, fprm.TimeLimit)
+	}
+	winPrm := func(wi int) Params {
+		q := fprm
+		q.TimeLimit = plan.wtl[wi]
+		return q
+	}
+
 	var moves []Move
 	var pre []*window // prebuilt geometry for the family about to run
-	for fi := 0; fi < len(families); fi++ {
+	for oi := 0; oi < len(plan.order); oi++ {
 		if err := ctx.Err(); err != nil {
 			pool.putWindows(pre)
 			return t.Objective(), err
 		}
+		fi := plan.order[oi]
 		curFam := families[fi]
 		cur := pre
 		if cur == nil {
@@ -120,8 +142,8 @@ func distPass(ctx context.Context, t *ObjTracker, ps ParamSet, g passGrid,
 		}
 		var next []*window
 		var nextFam []int
-		if fi+1 < len(families) {
-			nextFam = families[fi+1]
+		if oi+1 < len(plan.order) {
+			nextFam = families[plan.order[oi+1]]
 			next = make([]*window, len(nextFam))
 		}
 		pre = next
@@ -154,7 +176,7 @@ func distPass(ctx context.Context, t *ObjTracker, ps ParamSet, g passGrid,
 						w := cur[i]
 						if w == nil {
 							w = pool.getWindow()
-							w.buildGeom(p, fprm, g.rects[curFam[i]], ps,
+							w.buildGeom(p, winPrm(curFam[i]), g.rects[curFam[i]], ps,
 								g.buckets[curFam[i]], allowMove, allowFlip)
 							cur[i] = w
 						}
@@ -165,7 +187,7 @@ func distPass(ctx context.Context, t *ObjTracker, ps ParamSet, g passGrid,
 					} else {
 						j := i - len(cur)
 						w := pool.getWindow()
-						w.buildGeom(p, fprm, g.rects[nextFam[j]], ps,
+						w.buildGeom(p, winPrm(nextFam[j]), g.rects[nextFam[j]], ps,
 							g.buckets[nextFam[j]], allowMove, allowFlip)
 						next[j] = w
 					}

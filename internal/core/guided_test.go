@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"vm1place/internal/geom"
+	"vm1place/internal/proxy"
+	"vm1place/internal/tech"
+)
+
+// fakeScorer is a deterministic WindowScorer whose score is a pure
+// function of window geometry, letting plan construction be tested
+// without the proxy package.
+type fakeScorer struct {
+	score func(r geom.Rect) float64
+}
+
+func (f *fakeScorer) WindowScore(r geom.Rect) float64 { return f.score(r) }
+func (f *fakeScorer) Update([]int)                    {}
+
+// diagFamilies mirrors the family enumeration in distPass: diagonal
+// families with (wi - wj) congruent mod max(nwx, nwy).
+func diagFamilies(g passGrid) [][]int {
+	d := g.nwx
+	if g.nwy > d {
+		d = g.nwy
+	}
+	var families [][]int
+	for f := 0; f < d; f++ {
+		var fam []int
+		for wj := 0; wj < g.nwy; wj++ {
+			for wi := 0; wi < g.nwx; wi++ {
+				if ((wi-wj)%d+d)%d == f {
+					fam = append(fam, wj*g.nwx+wi)
+				}
+			}
+		}
+		if len(fam) > 0 {
+			families = append(families, fam)
+		}
+	}
+	return families
+}
+
+func planFixture(t *testing.T) (passGrid, [][]int, Params) {
+	t.Helper()
+	p := genPlaced(t, tech.ClosedM1, 300, 37, 0.75)
+	prm := DefaultParams(p.Tech, tech.ClosedM1)
+	g := makeGrid(p, ParamSet{BW: 2000, BH: 2000, LX: 3, LY: 1}, 0, 0)
+	families := diagFamilies(g)
+	if len(families) < 2 {
+		t.Fatalf("need >=2 families to test ordering, got %d", len(families))
+	}
+	return g, families, prm
+}
+
+// TestGuidedPlanOrdering checks the plan construction rules: hottest
+// family first, flat scores keep diagonal order via the index tie-break,
+// all-zero scores fall back to the uniform plan, and per-family budgets
+// stay within [uniform, boost-cap x uniform].
+func TestGuidedPlanOrdering(t *testing.T) {
+	g, families, prm := planFixture(t)
+	prm.Guided = true
+
+	// Score by leftmost window x: families covering lower x rank hotter.
+	sc := &fakeScorer{score: func(r geom.Rect) float64 {
+		return 1e9 - float64(r.XLo)
+	}}
+	prm.Proxy = sc
+	tl := 80 * time.Millisecond
+	plan := guidedPlan(prm, sc, g, families, tl)
+
+	if len(plan.order) == 0 || len(plan.order) > len(families) {
+		t.Fatalf("plan order has %d entries for %d families", len(plan.order), len(families))
+	}
+	seen := map[int]bool{}
+	for _, fi := range plan.order {
+		if fi < 0 || fi >= len(families) || seen[fi] {
+			t.Fatalf("plan order invalid or duplicated: %v", plan.order)
+		}
+		seen[fi] = true
+	}
+	// Per-window budgets stay within [shrink, boost-cap] x the uniform
+	// slice, and a window scoring at the maximum gets exactly the cap.
+	shrink := prm.guidedShrink()
+	bc := prm.guidedBoostCap()
+	lo := time.Duration(float64(tl)*shrink) - time.Microsecond
+	hi := time.Duration(float64(tl)*bc) + time.Microsecond
+	for wi, wtl := range plan.wtl {
+		if wtl < lo || wtl > hi {
+			t.Fatalf("window %d budget %v outside [%v x %v, %v x %v]", wi, wtl, shrink, tl, bc, tl)
+		}
+	}
+
+	// Untimed passes must stay untimed: skipping is the only lever.
+	up := guidedPlan(prm, sc, g, families, 0)
+	for wi, wtl := range up.wtl {
+		if wtl != 0 {
+			t.Fatalf("untimed run gained a budget: window %d got %v", wi, wtl)
+		}
+	}
+
+	// A scorer that marks everything equally hot must keep every family
+	// and order them by index (tie-break).
+	flat := &fakeScorer{score: func(geom.Rect) float64 { return 1 }}
+	prm.Proxy = flat
+	fp := guidedPlan(prm, flat, g, families, tl)
+	if len(fp.order) != len(families) {
+		t.Fatalf("flat scores dropped families: kept %d of %d", len(fp.order), len(families))
+	}
+	for i, fi := range fp.order {
+		if fi != i {
+			t.Fatalf("flat scores must keep index order, got %v", fp.order)
+		}
+	}
+
+	// All-zero scores fall back to the uniform plan.
+	zero := &fakeScorer{score: func(geom.Rect) float64 { return 0 }}
+	prm.Proxy = zero
+	zp := guidedPlan(prm, zero, g, families, tl)
+	if len(zp.order) != len(families) {
+		t.Fatalf("zero scores must keep all families, kept %d", len(zp.order))
+	}
+	for wi, wtl := range zp.wtl {
+		if wtl != tl {
+			t.Fatalf("zero scores must keep uniform budgets, window %d got %v", wi, wtl)
+		}
+	}
+}
+
+// TestGuidedPlanSkipsCold checks the cold cutoff: families scoring below
+// GuidedColdFrac of the maximum are excluded from the plan, and the
+// hottest family always survives.
+func TestGuidedPlanSkipsCold(t *testing.T) {
+	g, families, prm := planFixture(t)
+	prm.Guided = true
+	prm.GuidedColdFrac = 0.5
+
+	// One window hot, the rest stone cold: only the family containing it
+	// can clear a 50% cutoff.
+	hot := g.rects[families[0][0]]
+	sc := &fakeScorer{score: func(r geom.Rect) float64 {
+		if r == hot {
+			return 100
+		}
+		return 0.01
+	}}
+	prm.Proxy = sc
+	plan := guidedPlan(prm, sc, g, families, time.Second)
+	if len(plan.order) >= len(families) {
+		t.Fatalf("cold cutoff 0.5 kept all %d families", len(families))
+	}
+	kept := map[int]bool{}
+	for _, fi := range plan.order {
+		kept[fi] = true
+	}
+	if !kept[0] {
+		t.Fatalf("hottest family was skipped: order %v", plan.order)
+	}
+}
+
+// TestGuidedWorkersInvariance is the determinism claim from the issue:
+// guided selection must produce bit-identical placements for every
+// Workers count, because the plan is a pure function of the placement.
+// Untimed so per-family budgets cannot truncate work nondeterministically.
+func TestGuidedWorkersInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several full optimizer passes")
+	}
+	type snap struct {
+		site []int
+		row  []int
+		flip []bool
+		res  Result
+	}
+	run := func(workers int) snap {
+		// Sized to stay affordable under -race (the full core suite must
+		// fit the make-race budget): two worker counts, a 200-cell design
+		// and a small node cap still exercise every guided code path.
+		p := genPlaced(t, tech.ClosedM1, 200, 29, 0.75)
+		prm := DefaultParams(p.Tech, tech.ClosedM1)
+		prm.Workers = workers
+		prm.MaxNodes = 25
+		prm.TimeLimit = 0
+		prm.MaxOuterIters = 1
+		prm.Guided = true
+		prm.Proxy = proxy.New(p, proxy.DefaultConfig(p.Tech, tech.ClosedM1))
+		res := VM1Opt(p, prm, Sequence{{BW: 2000, BH: 2000, LX: 3, LY: 1}})
+		return snap{
+			site: append([]int(nil), p.SiteX...),
+			row:  append([]int(nil), p.Row...),
+			flip: append([]bool(nil), p.Flip...),
+			res:  res,
+		}
+	}
+	base := run(1)
+	for _, w := range []int{4} {
+		got := run(w)
+		if got.res.Final != base.res.Final {
+			t.Fatalf("Workers=%d guided final objective diverged:\n got %+v\nwant %+v",
+				w, got.res.Final, base.res.Final)
+		}
+		for i := range base.site {
+			if got.site[i] != base.site[i] || got.row[i] != base.row[i] ||
+				got.flip[i] != base.flip[i] {
+				t.Fatalf("Workers=%d guided placement diverged at inst %d", w, i)
+			}
+		}
+	}
+}
+
+// TestGuidedTrackerFeedsEstimator checks the incremental loop: the
+// tracker forwards every ApplyMoves batch to the attached estimator, so
+// after a full guided run the estimator state must still match a fresh
+// rebuild over the final placement.
+func TestGuidedTrackerFeedsEstimator(t *testing.T) {
+	p := genPlaced(t, tech.ClosedM1, 200, 41, 0.75)
+	prm := DefaultParams(p.Tech, tech.ClosedM1)
+	est := proxy.New(p, proxy.DefaultConfig(p.Tech, tech.ClosedM1))
+	prm.Guided = true
+	prm.Proxy = est
+	prm.MaxNodes = 25
+	prm.TimeLimit = 0
+	prm.MaxOuterIters = 1
+	VM1Opt(p, prm, Sequence{{BW: 2000, BH: 2000, LX: 3, LY: 1}})
+	if err := est.Check(); err != nil {
+		t.Fatalf("estimator diverged from placement after guided pass: %v", err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"vm1place/internal/layout"
 	"vm1place/internal/netlist"
 	"vm1place/internal/place"
+	"vm1place/internal/proxy"
 	"vm1place/internal/route"
 	"vm1place/internal/sta"
 	"vm1place/internal/tech"
@@ -99,6 +100,20 @@ type FlowConfig struct {
 	// with Workers=1 the whole flow is then bit-for-bit deterministic),
 	// zero keeps the substrate default.
 	TimeLimit time.Duration
+	// Guided turns on proxy-guided window scheduling: the flow builds a
+	// proxy.Estimator over the placement, calibrates it against the
+	// init-route pass's per-tile overflow, and the optimizer then runs
+	// families hottest-first, skips near-empty ones, and scales each
+	// window's MILP budget by its predicted congestion
+	// (core.Params.Guided). Deterministic for any Workers setting.
+	Guided bool
+	// GuidedColdFrac/GuidedShrink/GuidedBoostCap pass through to
+	// core.Params (0 keeps the defaults there: skip families below 1% of
+	// the hottest, scale per-window budgets within [0.25x, 1.5x] by
+	// score).
+	GuidedColdFrac float64
+	GuidedShrink   float64
+	GuidedBoostCap float64
 }
 
 // DefaultSequence is the paper's preferred single parameter set
@@ -165,7 +180,13 @@ type FlowResult struct {
 // router's worker-pool size (0 keeps the default); the metrics do not
 // depend on it. An interrupted routing run returns the elapsed time and
 // the ctx error; the snapshot is discarded.
-func snapshot(ctx context.Context, p *layout.Placement, arch tech.Arch, workers int) (Snapshot, time.Duration, error) {
+//
+// When cal is non-nil, the router's per-tile overflow grid is fed back
+// into the QoR estimator (proxy.Estimator.Calibrate) before returning:
+// regions the real router congests more than the proxy predicted gain
+// weight in guided window selection, closing the route→proxy→optimizer
+// loop.
+func snapshot(ctx context.Context, p *layout.Placement, arch tech.Arch, workers int, cal *proxy.Estimator) (Snapshot, time.Duration, error) {
 	start := time.Now()
 	rcfg := route.DefaultConfig(p.Tech, arch)
 	if workers > 0 {
@@ -176,6 +197,10 @@ func snapshot(ctx context.Context, p *layout.Placement, arch tech.Arch, workers 
 	elapsed := time.Since(start)
 	if err != nil {
 		return Snapshot{}, elapsed, err
+	}
+	if cal != nil {
+		ts, tr := cal.TileSize()
+		cal.Calibrate(r.OverflowGrid(ts, tr, nil), 1)
 	}
 	rep := sta.Analyze(p, sta.DefaultConfig(), nil)
 	return Snapshot{
@@ -236,6 +261,7 @@ func runFlow(ctx context.Context, spec DesignSpec, cfg FlowConfig, opt optimizer
 
 	res := FlowResult{Design: spec.Name, Arch: cfg.Arch, Util: cfg.Util}
 	var prm core.Params
+	var est *proxy.Estimator
 
 	pl := flow.New(
 		flow.Func("build", func(ctx context.Context, st *flow.State) error {
@@ -251,11 +277,23 @@ func runFlow(ctx context.Context, spec DesignSpec, cfg FlowConfig, opt optimizer
 				prm.NetBeta = staCriticalityBetas(
 					staNetSlacks(p, staCfg), staCfg.ClockPeriodNs, timingWeight)
 			}
+			if cfg.Guided {
+				// Guided selection: one estimator spans the flow — built
+				// here, calibrated by init-route's overflow, consulted by
+				// the optimizer before every pass, and kept current by the
+				// tracker after every committed move batch.
+				est = proxy.New(p, proxy.DefaultConfig(p.Tech, cfg.Arch))
+				prm.Guided = true
+				prm.Proxy = est
+				prm.GuidedColdFrac = cfg.GuidedColdFrac
+				prm.GuidedShrink = cfg.GuidedShrink
+				prm.GuidedBoostCap = cfg.GuidedBoostCap
+			}
 			res.Alpha = prm.Alpha
 			return nil
 		}),
 		flow.Func("init-route", func(ctx context.Context, st *flow.State) error {
-			snap, rt, err := snapshot(ctx, st.Placement, cfg.Arch, cfg.Workers)
+			snap, rt, err := snapshot(ctx, st.Placement, cfg.Arch, cfg.Workers, est)
 			res.RouteRuntime += rt
 			if err != nil {
 				return err
@@ -273,7 +311,7 @@ func runFlow(ctx context.Context, spec DesignSpec, cfg FlowConfig, opt optimizer
 			return err
 		}),
 		flow.Func("final-route", func(ctx context.Context, st *flow.State) error {
-			snap, rt, err := snapshot(ctx, st.Placement, cfg.Arch, cfg.Workers)
+			snap, rt, err := snapshot(ctx, st.Placement, cfg.Arch, cfg.Workers, nil)
 			res.RouteRuntime += rt
 			if err != nil {
 				return err

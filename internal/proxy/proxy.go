@@ -1,0 +1,498 @@
+// Package proxy is a fast, standalone QoR estimator for vm1place — the
+// PlacementCost-style API of the optimizer's inner loop. It predicts
+// per-tile routing congestion and wirelength from the placement alone,
+// with no maze search: net demand is spread probabilistically over the
+// tiles of each net's bounding box (a direction-split RUDY model) using
+// the same per-edge capacities the real router enforces
+// (route.CostModel), plus a per-tile signal-pin load that stands in for
+// M1 pin-access pressure. Scores are callable thousands of times per
+// second and the estimator updates incrementally as cells move, so the
+// optimizer can rank window families by predicted congestion before
+// spending MILP budget on them (internal/core's guided selection).
+//
+// All demand bookkeeping is integer fixed-point (demandScale units per
+// routing track) and every cache subtracts exactly what it previously
+// added, so an incrementally maintained estimator is bit-identical to a
+// freshly built one — the property tests pin this. The steady state
+// allocates nothing: every array is sized at construction and reused.
+package proxy
+
+import (
+	"fmt"
+
+	"vm1place/internal/cells"
+	"vm1place/internal/layout"
+	"vm1place/internal/netlist"
+	"vm1place/internal/route"
+	"vm1place/internal/tech"
+)
+
+// demandScale is the fixed-point scale of demand/capacity bookkeeping:
+// one routing track of expected usage across one grid cell is
+// demandScale units. Integer units make incremental subtract/add exact.
+const demandScale = 4096
+
+// calRegions is the per-axis count of calibration regions: the die is
+// split into calRegions x calRegions super-regions, each with its own
+// multiplier on predicted congestion, recalibrated from routed overflow.
+const calRegions = 4
+
+// Config tunes the estimator.
+type Config struct {
+	// TileSites/TileRows are the tile dimensions in grid cells (site
+	// columns x rows). The default 8x8 matches the router's coloring tile.
+	TileSites, TileRows int
+	// HCapPerCell/VCapPerCell are the per-grid-cell track capacities by
+	// preferred direction, from route.CostModel. VCapPerCell should
+	// include M1 only when the architecture can route it.
+	HCapPerCell, VCapPerCell int
+	// PinCostMilli is the vertical demand charged per signal pin, in
+	// milli-tracks: pins consume M1/pin-access resources (and under
+	// ClosedM1 block the M1 track of their column), so pin-dense tiles
+	// congest before their wire demand alone says so.
+	PinCostMilli int64
+	// PinWeight weighs the raw per-tile pin count in WindowScore — the
+	// alignment-opportunity term: windows rich in signal pins have more
+	// pairs the MILP can align, independent of predicted overflow.
+	PinWeight float64
+	// TopFrac is the tile fraction of TopFracOverflow (default 0.1: the
+	// top-10% congested tiles, the circuit-training congestion metric).
+	TopFrac float64
+}
+
+// DefaultConfig derives estimator parameters from the router's capacity
+// model for an architecture.
+func DefaultConfig(t *tech.Tech, arch tech.Arch) Config {
+	return ConfigFromCostModel(route.DefaultConfig(t, arch).CostModel())
+}
+
+// ConfigFromCostModel builds a Config from an explicit route.CostModel.
+func ConfigFromCostModel(cm route.CostModel) Config {
+	return Config{
+		TileSites:    8,
+		TileRows:     8,
+		HCapPerCell:  cm.HCapPerCell,
+		VCapPerCell:  cm.VCapPerCell + cm.M1CapPerCell,
+		PinCostMilli: 500,
+		PinWeight:    0.02,
+		TopFrac:      0.1,
+	}
+}
+
+// tileBox is a cached net footprint: the net's bounding box in grid
+// coordinates (inclusive site/row ranges), from which the net's exact
+// integer demand contribution is recomputed for subtraction.
+type tileBox struct {
+	x0, x1, y0, y1 int32
+	has            bool
+}
+
+func (b *tileBox) add(s, r int32) {
+	if !b.has {
+		*b = tileBox{x0: s, x1: s, y0: r, y1: r, has: true}
+		return
+	}
+	if s < b.x0 {
+		b.x0 = s
+	}
+	if s > b.x1 {
+		b.x1 = s
+	}
+	if r < b.y0 {
+		b.y0 = r
+	}
+	if r > b.y1 {
+		b.y1 = r
+	}
+}
+
+// Estimator is the incrementally maintained congestion/wirelength model
+// of one placement. It is not safe for concurrent mutation; concurrent
+// reads of scores are fine between updates.
+type Estimator struct {
+	p   *layout.Placement
+	cfg Config
+
+	ntx, nty int // tile grid dimensions
+
+	hDem, vDem []int64 // per-tile demand, demandScale fixed-point
+	hCap, vCap []int64 // per-tile capacity (edge tiles pro-rated)
+	pins       []int32 // per-tile signal-pin count
+
+	alpha [calRegions * calRegions]float64 // calibration multipliers
+
+	// Per-net caches: the exact footprint and wirelength last added,
+	// plus the static contribution of the net's ports (ports never
+	// move, so their partial box is computed once).
+	netBox  []tileBox
+	portBox []tileBox
+	netWL   []int64
+	totalWL int64
+
+	// inst -> distinct non-clock incident nets (CSR-backed, like
+	// core.ObjTracker's index).
+	instNets [][]int32
+
+	// Flat per-signal-pin cached tile ids, CSR by instance.
+	pinStart []int32
+	pinTile  []int32
+
+	// Epoch-marked net dedup for one Update batch.
+	mark  []int32
+	epoch int32
+
+	scratch []int64 // TopFracOverflow selection buffer
+}
+
+// New builds an estimator over the placement and fully evaluates it.
+func New(p *layout.Placement, cfg Config) *Estimator {
+	if cfg.TileSites <= 0 {
+		cfg.TileSites = 8
+	}
+	if cfg.TileRows <= 0 {
+		cfg.TileRows = 8
+	}
+	if cfg.TopFrac <= 0 || cfg.TopFrac > 1 {
+		cfg.TopFrac = 0.1
+	}
+	e := &Estimator{
+		p:   p,
+		cfg: cfg,
+		ntx: (p.NumSites + cfg.TileSites - 1) / cfg.TileSites,
+		nty: (p.NumRows + cfg.TileRows - 1) / cfg.TileRows,
+	}
+	nt := e.ntx * e.nty
+	e.hDem = make([]int64, nt)
+	e.vDem = make([]int64, nt)
+	e.hCap = make([]int64, nt)
+	e.vCap = make([]int64, nt)
+	e.pins = make([]int32, nt)
+	e.scratch = make([]int64, nt)
+	for i := range e.alpha {
+		e.alpha[i] = 1
+	}
+
+	nNets := len(p.Design.Nets)
+	e.netBox = make([]tileBox, nNets)
+	e.netWL = make([]int64, nNets)
+	e.mark = make([]int32, nNets)
+
+	e.buildCaps()
+	e.buildPortBoxes()
+	e.buildInstNets()
+	e.buildPinIndex()
+	e.Rebuild()
+	return e
+}
+
+// TileDims returns the tile grid dimensions (tiles in x, tiles in y).
+func (e *Estimator) TileDims() (int, int) { return e.ntx, e.nty }
+
+// TileSize returns the configured tile size in grid cells.
+func (e *Estimator) TileSize() (int, int) { return e.cfg.TileSites, e.cfg.TileRows }
+
+// buildCaps fills the per-tile capacities, pro-rating tiles clipped by
+// the die boundary.
+func (e *Estimator) buildCaps() {
+	p, cfg := e.p, e.cfg
+	for ty := 0; ty < e.nty; ty++ {
+		rows := cfg.TileRows
+		if r := p.NumRows - ty*cfg.TileRows; r < rows {
+			rows = r
+		}
+		for tx := 0; tx < e.ntx; tx++ {
+			sites := cfg.TileSites
+			if s := p.NumSites - tx*cfg.TileSites; s < sites {
+				sites = s
+			}
+			area := int64(sites) * int64(rows)
+			t := ty*e.ntx + tx
+			e.hCap[t] = area * int64(cfg.HCapPerCell) * demandScale
+			e.vCap[t] = area * int64(cfg.VCapPerCell) * demandScale
+		}
+	}
+}
+
+// clampSite/clampRow clamp a grid coordinate to the die.
+func (e *Estimator) clampSite(s int) int32 {
+	if s < 0 {
+		s = 0
+	}
+	if s >= e.p.NumSites {
+		s = e.p.NumSites - 1
+	}
+	return int32(s)
+}
+
+func (e *Estimator) clampRow(r int) int32 {
+	if r < 0 {
+		r = 0
+	}
+	if r >= e.p.NumRows {
+		r = e.p.NumRows - 1
+	}
+	return int32(r)
+}
+
+// buildPortBoxes precomputes each net's port-only partial box. Ports are
+// fixed at the die edge, so this never changes after construction.
+func (e *Estimator) buildPortBoxes() {
+	p := e.p
+	d := p.Design
+	e.portBox = make([]tileBox, len(d.Nets))
+	for pi := range d.Ports {
+		ni := d.Ports[pi].Net
+		s := e.clampSite(p.Tech.XToSite(p.PortXY[pi].X))
+		r := e.clampRow(p.Tech.YToRow(p.PortXY[pi].Y))
+		e.portBox[ni].add(s, r)
+	}
+}
+
+// buildInstNets builds the inst -> distinct non-clock nets index.
+func (e *Estimator) buildInstNets() {
+	d := e.p.Design
+	nInsts := len(d.Insts)
+	counts := make([]int32, nInsts)
+	for ni := range d.Nets {
+		if d.Nets[ni].IsClock {
+			continue
+		}
+		d.Nets[ni].ForEachConn(func(c netlist.Conn) { counts[c.Inst]++ })
+	}
+	total := int64(0)
+	for _, c := range counts {
+		total += int64(c)
+	}
+	backing := make([]int32, total)
+	e.instNets = make([][]int32, nInsts)
+	off := int64(0)
+	for i, c := range counts {
+		e.instNets[i] = backing[off:off : off+int64(c)]
+		off += int64(c)
+	}
+	last := make([]int32, nInsts)
+	for i := range last {
+		last[i] = -1
+	}
+	for ni := range d.Nets {
+		if d.Nets[ni].IsClock {
+			continue
+		}
+		d.Nets[ni].ForEachConn(func(c netlist.Conn) {
+			if last[c.Inst] != int32(ni) {
+				last[c.Inst] = int32(ni)
+				e.instNets[c.Inst] = append(e.instNets[c.Inst], int32(ni))
+			}
+		})
+	}
+}
+
+// buildPinIndex sizes the flat per-signal-pin tile cache (CSR by inst).
+func (e *Estimator) buildPinIndex() {
+	d := e.p.Design
+	nInsts := len(d.Insts)
+	e.pinStart = make([]int32, nInsts+1)
+	for i := range d.Insts {
+		n := int32(0)
+		m := d.Insts[i].Master
+		for pi := range m.Pins {
+			if m.Pins[pi].IsSignal() {
+				n++
+			}
+		}
+		e.pinStart[i+1] = e.pinStart[i] + n
+	}
+	e.pinTile = make([]int32, e.pinStart[nInsts])
+	for i := range e.pinTile {
+		e.pinTile[i] = -1
+	}
+}
+
+// Rebuild re-derives every cache from the current placement — the full
+// (non-incremental) evaluation. Update keeps the same state current
+// move-by-move; the two are bit-identical by construction.
+func (e *Estimator) Rebuild() {
+	for i := range e.hDem {
+		e.hDem[i] = 0
+		e.vDem[i] = 0
+		e.pins[i] = 0
+	}
+	e.totalWL = 0
+	d := e.p.Design
+	for ni := range d.Nets {
+		e.netBox[ni] = tileBox{}
+		e.netWL[ni] = 0
+		if d.Nets[ni].IsClock {
+			continue
+		}
+		e.addNet(ni)
+	}
+	for k := range e.pinTile {
+		e.pinTile[k] = -1
+	}
+	for i := range d.Insts {
+		e.placePins(i)
+	}
+}
+
+// Update re-evaluates the estimator after the given instances moved (the
+// placement must already reflect the new locations — core.ObjTracker
+// calls this right after SetLoc). Only the pins of the moved instances
+// and the nets incident to them are touched. Repeated instances and
+// shared nets are handled once per batch.
+func (e *Estimator) Update(insts []int) {
+	e.epoch++
+	for _, i := range insts {
+		e.removePins(i)
+	}
+	for _, i := range insts {
+		e.placePins(i)
+		for _, ni := range e.instNets[i] {
+			if e.mark[ni] != e.epoch {
+				e.mark[ni] = e.epoch
+				e.removeNet(int(ni))
+				e.addNet(int(ni))
+			}
+		}
+	}
+}
+
+// removePins subtracts instance i's cached pin-tile contributions. The
+// -1 sentinel makes a repeated remove (duplicate inst in one batch) a
+// no-op; placePins below refills every slot it owns.
+func (e *Estimator) removePins(i int) {
+	for k := e.pinStart[i]; k < e.pinStart[i+1]; k++ {
+		if t := e.pinTile[k]; t >= 0 {
+			e.pins[t]--
+			e.pinTile[k] = -1
+		}
+	}
+}
+
+// placePins records instance i's signal-pin access columns into the
+// per-tile pin counts, caching each pin's tile for exact removal. A
+// duplicate inst in one Update batch is first re-removed so counts stay
+// exact.
+func (e *Estimator) placePins(i int) {
+	e.removePins(i)
+	p := e.p
+	m := p.Design.Insts[i].Master
+	x := p.InstX(i)
+	flip := p.Flip[i]
+	row := e.clampRow(p.Row[i])
+	trow := row / int32(e.cfg.TileRows) * int32(e.ntx)
+	k := e.pinStart[i]
+	for pi := range m.Pins {
+		pin := &m.Pins[pi]
+		if !pin.IsSignal() {
+			continue
+		}
+		sx := e.clampSite(p.Tech.XToSite(x + cells.AlignX(m, p.Tech, pin, flip)))
+		t := trow + sx/int32(e.cfg.TileSites)
+		e.pins[t]++
+		e.pinTile[k] = t
+		k++
+	}
+}
+
+// netGridBox computes a net's bounding box in grid coordinates over its
+// instance locations and precomputed port box. Instance granularity
+// (cell origin site/row) is deliberate: pin offsets are sub-tile, and
+// cell-level boxes make the box — and therefore the demand — a pure
+// function of (SiteX, Row), independent of Flip.
+func (e *Estimator) netGridBox(ni int) tileBox {
+	p := e.p
+	b := e.portBox[ni]
+	p.Design.Nets[ni].ForEachConn(func(c netlist.Conn) {
+		b.add(e.clampSite(p.SiteX[c.Inst]), e.clampRow(p.Row[c.Inst]))
+	})
+	return b
+}
+
+// spreadNet adds (sign=+1) or subtracts (sign=-1) the demand of a net
+// box. The per-tile contribution is an exact integer function of the
+// box, so a subtract with the cached box undoes the earlier add exactly.
+//
+// Model: a net spanning w sites x h rows needs ~one horizontal track
+// somewhere in its box (expected per-cell horizontal usage 1/h) and ~one
+// vertical track (expected per-cell vertical usage 1/w) — the
+// direction-split RUDY estimate.
+func (e *Estimator) spreadNet(b tileBox, sign int64) {
+	w := int64(b.x1-b.x0) + 1
+	h := int64(b.y1-b.y0) + 1
+	ts, tr := e.cfg.TileSites, e.cfg.TileRows
+	tx0, tx1 := int(b.x0)/ts, int(b.x1)/ts
+	ty0, ty1 := int(b.y0)/tr, int(b.y1)/tr
+	for ty := ty0; ty <= ty1; ty++ {
+		ry0, ry1 := ty*tr, ty*tr+tr-1
+		if ry0 < int(b.y0) {
+			ry0 = int(b.y0)
+		}
+		if ry1 > int(b.y1) {
+			ry1 = int(b.y1)
+		}
+		oy := int64(ry1 - ry0 + 1)
+		base := ty * e.ntx
+		for tx := tx0; tx <= tx1; tx++ {
+			rx0, rx1 := tx*ts, tx*ts+ts-1
+			if rx0 < int(b.x0) {
+				rx0 = int(b.x0)
+			}
+			if rx1 > int(b.x1) {
+				rx1 = int(b.x1)
+			}
+			ox := int64(rx1 - rx0 + 1)
+			covered := ox * oy
+			t := base + tx
+			e.hDem[t] += sign * (covered * demandScale / h)
+			e.vDem[t] += sign * (covered * demandScale / w)
+		}
+	}
+}
+
+// addNet computes and applies a net's footprint, caching it.
+func (e *Estimator) addNet(ni int) {
+	b := e.netGridBox(ni)
+	e.netBox[ni] = b
+	if !b.has {
+		e.netWL[ni] = 0
+		return
+	}
+	wl := int64(b.x1-b.x0)*e.p.Tech.SiteWidth + int64(b.y1-b.y0)*e.p.Tech.RowHeight
+	e.netWL[ni] = wl
+	e.totalWL += wl
+	e.spreadNet(b, +1)
+}
+
+// removeNet subtracts a net's cached footprint.
+func (e *Estimator) removeNet(ni int) {
+	b := e.netBox[ni]
+	if !b.has {
+		return
+	}
+	e.totalWL -= e.netWL[ni]
+	e.spreadNet(b, -1)
+	e.netBox[ni] = tileBox{}
+	e.netWL[ni] = 0
+}
+
+// WL returns the tracked cell-granular wirelength estimate (DBU): the
+// summed half-perimeter of every non-clock net's cell bounding box. It
+// moves with the placement exactly like HPWL does, at tile-model cost.
+func (e *Estimator) WL() int64 { return e.totalWL }
+
+// Check verifies the incremental caches against a fresh rebuild,
+// returning an error describing the first mismatch. Test hook.
+func (e *Estimator) Check() error {
+	f := New(e.p, e.cfg)
+	for i := range e.hDem {
+		if e.hDem[i] != f.hDem[i] || e.vDem[i] != f.vDem[i] || e.pins[i] != f.pins[i] {
+			return fmt.Errorf("proxy: tile %d diverged: hDem %d/%d vDem %d/%d pins %d/%d",
+				i, e.hDem[i], f.hDem[i], e.vDem[i], f.vDem[i], e.pins[i], f.pins[i])
+		}
+	}
+	if e.totalWL != f.totalWL {
+		return fmt.Errorf("proxy: WL diverged: %d vs %d", e.totalWL, f.totalWL)
+	}
+	return nil
+}

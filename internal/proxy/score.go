@@ -1,0 +1,213 @@
+package proxy
+
+import (
+	"slices"
+
+	"vm1place/internal/geom"
+)
+
+// Calibration clamps: a region's multiplier stays within
+// [1/alphaClamp, alphaClamp] of neutral so one noisy route pass cannot
+// blind the estimator to (or fixate it on) a region.
+const alphaClamp = 4.0
+
+// tileOver returns tile t's predicted overflow in demandScale units:
+// horizontal demand past horizontal capacity plus vertical demand —
+// including the pin-access load — past vertical capacity.
+func (e *Estimator) tileOver(t int) int64 {
+	over := int64(0)
+	if d := e.hDem[t] - e.hCap[t]; d > 0 {
+		over += d
+	}
+	pinLoad := int64(e.pins[t]) * demandScale * e.cfg.PinCostMilli / 1000
+	if d := e.vDem[t] + pinLoad - e.vCap[t]; d > 0 {
+		over += d
+	}
+	return over
+}
+
+// regionOf maps a tile to its calibration region.
+func (e *Estimator) regionOf(t int) int {
+	tx, ty := t%e.ntx, t/e.ntx
+	rx := tx * calRegions / e.ntx
+	if rx >= calRegions {
+		rx = calRegions - 1
+	}
+	ry := ty * calRegions / e.nty
+	if ry >= calRegions {
+		ry = calRegions - 1
+	}
+	return ry*calRegions + rx
+}
+
+// Overflow returns the total predicted overflow in tracks (the proxy's
+// analogue of route.Metrics.Overflow), calibration applied.
+func (e *Estimator) Overflow() float64 {
+	sum := 0.0
+	for t := range e.hDem {
+		if o := e.tileOver(t); o > 0 {
+			sum += e.alpha[e.regionOf(t)] * float64(o)
+		}
+	}
+	return sum / demandScale
+}
+
+// TopFracOverflow returns the mean predicted overflow (tracks/tile) of
+// the top cfg.TopFrac fraction of tiles — the hotspot-weighted
+// congestion score used to compare placements: total overflow can hide a
+// few severe hotspots behind many mild ones, the top-decile mean cannot.
+func (e *Estimator) TopFracOverflow() float64 {
+	n := len(e.hDem)
+	for t := 0; t < n; t++ {
+		e.scratch[t] = e.tileOver(t)
+	}
+	slices.Sort(e.scratch)
+	k := int(float64(n) * e.cfg.TopFrac)
+	if k < 1 {
+		k = 1
+	}
+	sum := 0.0
+	for i := n - k; i < n; i++ {
+		sum += float64(e.scratch[i])
+	}
+	return sum / float64(k) / demandScale
+}
+
+// TileOverflow returns tile t's raw predicted overflow in tracks,
+// without calibration. Exposed for correlation tests and diagnostics.
+func (e *Estimator) TileOverflow(t int) float64 {
+	return float64(e.tileOver(t)) / demandScale
+}
+
+// tileRange clips a die-space rectangle (DBU) to the estimator grid and
+// returns the inclusive tile index bounds.
+func (e *Estimator) tileRange(r geom.Rect) (tx0, tx1, ty0, ty1 int) {
+	p := e.p
+	ts := int64(e.cfg.TileSites) * p.Tech.SiteWidth
+	tr := int64(e.cfg.TileRows) * p.Tech.RowHeight
+	tx0 = int(r.XLo / ts)
+	tx1 = int((r.XHi - 1) / ts)
+	ty0 = int(r.YLo / tr)
+	ty1 = int((r.YHi - 1) / tr)
+	if tx0 < 0 {
+		tx0 = 0
+	}
+	if ty0 < 0 {
+		ty0 = 0
+	}
+	if tx1 >= e.ntx {
+		tx1 = e.ntx - 1
+	}
+	if ty1 >= e.nty {
+		ty1 = e.nty - 1
+	}
+	return
+}
+
+// WindowScore scores a die-space rectangle (DBU) for optimization
+// priority: the calibrated predicted overflow of the tiles it touches
+// plus PinWeight times their signal-pin count (the alignment-opportunity
+// term). Higher means the window family is a better place to spend MILP
+// budget. Allocation-free; cost is proportional to the tile count of the
+// window, not to nets or cells.
+func (e *Estimator) WindowScore(r geom.Rect) float64 {
+	tx0, tx1, ty0, ty1 := e.tileRange(r)
+	score := 0.0
+	for ty := ty0; ty <= ty1; ty++ {
+		base := ty * e.ntx
+		for tx := tx0; tx <= tx1; tx++ {
+			t := base + tx
+			score += e.alpha[e.regionOf(t)]*float64(e.tileOver(t))/demandScale +
+				e.cfg.PinWeight*float64(e.pins[t])
+		}
+	}
+	return score
+}
+
+// WindowPins returns the signal-pin count inside a die-space rectangle —
+// the raw alignment-opportunity signal of WindowScore, uncalibrated and
+// unweighted. Allocation-free.
+func (e *Estimator) WindowPins(r geom.Rect) float64 {
+	tx0, tx1, ty0, ty1 := e.tileRange(r)
+	sum := 0.0
+	for ty := ty0; ty <= ty1; ty++ {
+		base := ty * e.ntx
+		for tx := tx0; tx <= tx1; tx++ {
+			sum += float64(e.pins[base+tx])
+		}
+	}
+	return sum
+}
+
+// WindowDemand returns the total predicted routing demand (horizontal +
+// vertical, in tracks) inside a die-space rectangle — demand, not
+// overflow: tiles below capacity still contribute. Allocation-free.
+func (e *Estimator) WindowDemand(r geom.Rect) float64 {
+	tx0, tx1, ty0, ty1 := e.tileRange(r)
+	var sum int64
+	for ty := ty0; ty <= ty1; ty++ {
+		base := ty * e.ntx
+		for tx := tx0; tx <= tx1; tx++ {
+			t := base + tx
+			sum += e.hDem[t] + e.vDem[t]
+		}
+	}
+	return float64(sum) / demandScale
+}
+
+// Calibrate blends routed per-tile overflow (route.Router.OverflowGrid
+// on the same tile dimensions) into the per-region multipliers: regions
+// the router congests more than predicted gain weight, regions it
+// congests less lose it. blend in (0,1] is the EWMA step (1 = jump to
+// the measured ratio). Multipliers are clamped to [1/alphaClamp,
+// alphaClamp]; a region with routed overflow but zero prediction is
+// pushed to the clamp ceiling so guided selection still visits it.
+func (e *Estimator) Calibrate(actual []int64, blend float64) {
+	if len(actual) != len(e.hDem) || blend <= 0 {
+		return
+	}
+	if blend > 1 {
+		blend = 1
+	}
+	var pred, act [calRegions * calRegions]float64
+	for t := range e.hDem {
+		r := e.regionOf(t)
+		pred[r] += float64(e.tileOver(t)) / demandScale
+		act[r] += float64(actual[t])
+	}
+	for r := range e.alpha {
+		var ratio float64
+		switch {
+		case pred[r] > 0:
+			ratio = act[r] / pred[r]
+		case act[r] > 0:
+			ratio = alphaClamp
+		default:
+			continue // nothing predicted, nothing routed: leave alone
+		}
+		if ratio > alphaClamp {
+			ratio = alphaClamp
+		}
+		if ratio < 1/alphaClamp {
+			ratio = 1 / alphaClamp
+		}
+		a := e.alpha[r]*(1-blend) + ratio*blend
+		if a > alphaClamp {
+			a = alphaClamp
+		}
+		if a < 1/alphaClamp {
+			a = 1 / alphaClamp
+		}
+		e.alpha[r] = a
+	}
+}
+
+// ResetCalibration returns every region multiplier to neutral.
+func (e *Estimator) ResetCalibration() {
+	for i := range e.alpha {
+		e.alpha[i] = 1
+	}
+}
+
+// Alpha returns region r's calibration multiplier (diagnostics).
+func (e *Estimator) Alpha(r int) float64 { return e.alpha[r] }

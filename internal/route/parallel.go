@@ -15,7 +15,11 @@
 // Batch composition, deferral decisions and the cleanup order depend only
 // on the placement and configuration — never on the worker count or
 // goroutine scheduling — so RouteAll returns bit-identical Metrics for
-// every Workers value.
+// every Workers value. In particular the single-worker path below walks
+// the same batch-concatenation order the barriers produce (it cannot use
+// plain net order: first-fit coloring can seat a later net in an earlier
+// batch than an earlier conflicting net), just without the goroutine and
+// buffer machinery.
 package route
 
 import (
@@ -34,29 +38,44 @@ const batchTile = 8
 // designs. The cap is a constant, so batch composition stays deterministic.
 const colorProbeCap = 128
 
-// colorBatches greedily packs nets into conflict-free batches, preserving
-// relative order within each batch.
-func (r *Router) colorBatches(nets []int) [][]int {
+// batchSchedule is the Router-owned coloring state: per-batch net lists
+// and tile bitmaps, pooled across routeBatched calls. used counts the
+// batches of the current build; entries beyond it are free capacity kept
+// for reuse.
+type batchSchedule struct {
+	nets  [][]int
+	bits  [][]uint64
+	used  int
+	words int
+}
+
+// buildSchedule greedily packs nets into conflict-free batches,
+// preserving relative order within each batch. The schedule's storage is
+// reused: rebuilding for a new net list allocates only when the batch
+// count or bitmap size grows past anything seen before.
+func (r *Router) buildSchedule(nets []int) {
+	s := &r.sched
 	tx := (r.nx + batchTile - 1) / batchTile
 	ty := (r.ny + batchTile - 1) / batchTile
 	words := (tx*ty + 63) / 64
-	type batch struct {
-		nets []int
-		bits []uint64
+	if words != s.words {
+		s.bits = nil
+		s.nets = nil
+		s.words = words
 	}
-	var batches []batch
+	s.used = 0
 	for _, ni := range nets {
 		rg := r.netRegion[ni]
 		tx0, tx1 := rg.xlo/batchTile, rg.xhi/batchTile
 		ty0, ty1 := rg.ylo/batchTile, rg.yhi/batchTile
 		found := -1
-		limit := len(batches)
+		limit := s.used
 		if limit > colorProbeCap {
 			limit = colorProbeCap
 		}
 	probe:
 		for bi := 0; bi < limit; bi++ {
-			bits := batches[bi].bits
+			bits := s.bits[bi]
 			for tyi := ty0; tyi <= ty1; tyi++ {
 				base := tyi * tx
 				for txi := tx0; txi <= tx1; txi++ {
@@ -70,24 +89,32 @@ func (r *Router) colorBatches(nets []int) [][]int {
 			break
 		}
 		if found < 0 {
-			batches = append(batches, batch{bits: make([]uint64, words)})
-			found = len(batches) - 1
+			if s.used < len(s.nets) {
+				s.nets[s.used] = s.nets[s.used][:0]
+				clearWords(s.bits[s.used])
+			} else {
+				s.nets = append(s.nets, nil)
+				s.bits = append(s.bits, make([]uint64, words))
+			}
+			found = s.used
+			s.used++
 		}
-		b := &batches[found]
-		b.nets = append(b.nets, ni)
+		s.nets[found] = append(s.nets[found], ni)
+		bits := s.bits[found]
 		for tyi := ty0; tyi <= ty1; tyi++ {
 			base := tyi * tx
 			for txi := tx0; txi <= tx1; txi++ {
 				t := base + txi
-				b.bits[t>>6] |= 1 << (t & 63)
+				bits[t>>6] |= 1 << (t & 63)
 			}
 		}
 	}
-	out := make([][]int, len(batches))
-	for i := range batches {
-		out[i] = batches[i].nets
+}
+
+func clearWords(w []uint64) {
+	for i := range w {
+		w[i] = 0
 	}
-	return out
 }
 
 // routeBatched routes the given nets (already in deterministic order)
@@ -102,20 +129,73 @@ func (r *Router) routeBatched(ctx context.Context, nets []int, cw float64) error
 	r.rebuildEdgeCosts(cw)
 	workers := r.workerCount()
 	r.ensureSearchers(workers)
+	r.buildSchedule(nets)
 
-	var deferred []int
-	for _, batch := range r.colorBatches(nets) {
+	deferred := r.deferBuf[:0]
+	var err error
+	if workers <= 1 {
+		deferred, err = r.runScheduleSeq(ctx, deferred)
+	} else {
+		deferred, err = r.runSchedulePar(ctx, workers, deferred)
+	}
+	r.deferBuf = deferred[:0]
+	if err != nil {
+		return err
+	}
+
+	// Sequential cleanup: nets that could not finish inside their region
+	// get the unbounded retry semantics, in deterministic order.
+	full := region{xlo: 0, ylo: 0, xhi: r.nx - 1, yhi: r.ny - 1}
+	s := r.searchers[0]
+	for _, ni := range deferred {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		nr, _ := s.routeNet(ni, full, false)
+		r.routes[ni] = nr
+	}
+	return nil
+}
+
+// runScheduleSeq is the single-worker fast path: it walks the schedule in
+// batch-concatenation order — the same order the parallel barriers commit
+// in — routing and committing each net immediately. Within a batch the
+// regions are disjoint, so in-place sequential execution is equivalent to
+// the concurrent run; across batches the commit order is the
+// concatenation order either way. No goroutines, no cursor, no per-batch
+// result buffers.
+func (r *Router) runScheduleSeq(ctx context.Context, deferred []int) ([]int, error) {
+	s := r.searchers[0]
+	for bi := 0; bi < r.sched.used; bi++ {
+		if err := ctx.Err(); err != nil {
+			return deferred, err
+		}
+		for _, ni := range r.sched.nets[bi] {
+			nr, def := s.routeNet(ni, r.netRegion[ni], true)
+			if def {
+				deferred = append(deferred, ni)
+			} else {
+				r.routes[ni] = nr
+			}
+		}
+	}
+	return deferred, nil
+}
+
+// runSchedulePar drains each batch with a worker pool and commits at the
+// batch barrier in net order. Result buffers are pooled on the Router.
+func (r *Router) runSchedulePar(ctx context.Context, workers int, deferred []int) ([]int, error) {
+	for bi := 0; bi < r.sched.used; bi++ {
+		if err := ctx.Err(); err != nil {
+			return deferred, err
+		}
+		batch := r.sched.nets[bi]
 		w := workers
 		if w > len(batch) {
 			w = len(batch)
 		}
 		if w <= 1 {
-			// Same schedule, no goroutines: within a batch the regions
-			// are disjoint, so sequential and concurrent execution are
-			// equivalent by construction.
+			// One-net batch: skip the pool.
 			s := r.searchers[0]
 			for _, ni := range batch {
 				nr, def := s.routeNet(ni, r.netRegion[ni], true)
@@ -128,8 +208,12 @@ func (r *Router) routeBatched(ctx context.Context, nets []int, cw float64) error
 			continue
 		}
 
-		nrs := make([]*netRoute, len(batch))
-		defs := make([]bool, len(batch))
+		if cap(r.nrsBuf) < len(batch) {
+			r.nrsBuf = make([]*netRoute, len(batch))
+			r.defsBuf = make([]bool, len(batch))
+		}
+		nrs := r.nrsBuf[:len(batch)]
+		defs := r.defsBuf[:len(batch)]
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for k := 0; k < w; k++ {
@@ -157,17 +241,5 @@ func (r *Router) routeBatched(ctx context.Context, nets []int, cw float64) error
 			}
 		}
 	}
-
-	// Sequential cleanup: nets that could not finish inside their region
-	// get the unbounded retry semantics, in deterministic order.
-	full := region{xlo: 0, ylo: 0, xhi: r.nx - 1, yhi: r.ny - 1}
-	s := r.searchers[0]
-	for _, ni := range deferred {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		nr, _ := s.routeNet(ni, full, false)
-		r.routes[ni] = nr
-	}
-	return nil
+	return deferred, nil
 }

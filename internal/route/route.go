@@ -165,6 +165,17 @@ type Router struct {
 	// across batches and RouteAll calls.
 	searchers []*searcher
 
+	// sched is the pooled batch-coloring state, reused across every
+	// routeBatched call (initial pass and each rip-up iteration) so the
+	// steady state allocates no per-call bitmaps or batch slices.
+	sched batchSchedule
+
+	// nrsBuf/defsBuf/deferBuf are the pooled per-batch result and
+	// deferral buffers of routeBatched.
+	nrsBuf   []*netRoute
+	defsBuf  []bool
+	deferBuf []int
+
 	// routes holds the current route of each net.
 	routes map[int]*netRoute
 
