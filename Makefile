@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint test race bench-smoke bench-proxy bench-json bench-core bench-route
+.PHONY: check vet lint test race bench-smoke bench-proxy bench-json bench-core bench-route bench-scale bench-scale-smoke
 
 check: vet lint test race bench-smoke
 
@@ -30,8 +30,14 @@ race:
 
 # One iteration of each substrate microbenchmark — a fast sanity pass that
 # the benchmarks still build and run, not a measurement.
-bench-smoke: bench-proxy
+bench-smoke: bench-proxy bench-scale-smoke
 	$(GO) test -run '^$$' -bench 'DistOptPass|LPSolve|CalculateObj' -benchtime 1x -timeout 20m .
+
+# CI-sized scale sweep: one tiny design through the full flow at shard
+# counts 1 and 2, checking the sharded engine completes, samples a peak
+# heap, and routes to the same QoR (TestScaleSweepSmoke, ~5 s).
+bench-scale-smoke:
+	$(GO) test -run TestScaleSweepSmoke -timeout 10m ./internal/expt/
 
 # The congestion-proxy evaluation hot path (incremental update + full
 # window-grid scoring). Measured, not smoked: the guided selection design
@@ -52,3 +58,10 @@ bench-core: bench-json
 # the speedup over the seed router, with a Metrics-equality check.
 bench-route:
 	BENCH_JSON=1 $(GO) test -run TestEmitBenchRouteJSON -timeout 30m -v .
+
+# Regenerates BENCH_scale.json: shard bitwise-invariance gate, then full
+# flows at jpeg scales 0.1/0.5/2.0 x shard counts 1/2/4 recording wall,
+# peak heap and routed QoR. The 2.0 points run a 109k-instance flow each;
+# expect the better part of an hour on one core.
+bench-scale:
+	BENCH_JSON=1 $(GO) test -run TestEmitBenchScaleJSON -timeout 180m -v .

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"vm1place/internal/expt"
@@ -35,9 +37,15 @@ func run() error {
 	table2 := flag.Bool("table2", false, "ExptB: full-design results")
 	ablate := flag.Bool("ablate", false, "sequential-vs-joint flip ablation")
 	guided := flag.Bool("guided", false, "uniform-vs-guided window budgeting sweep")
+	scaleSweep := flag.Bool("scalesweep", false,
+		"design-scale sweep: wall, peak heap and routed QoR vs instance and shard count")
 	archStr := flag.String("arch", "closedm1", "architecture for -fig6")
 	scale := flag.Float64("scale", 0.1, "design scale factor (1.0 = paper instance counts)")
 	workers := flag.Int("workers", 8, "parallel window solvers")
+	sweepDesign := flag.String("sweep-design", "jpeg", "paper design the -scalesweep grows")
+	sweepScales := flag.String("sweep-scales", "0.1,0.5,1.0,2.0",
+		"comma-separated scale factors for -scalesweep (duplicates after the 200-inst floor are dropped)")
+	sweepShards := flag.String("sweep-shards", "1,2,4", "comma-separated shard counts for -scalesweep")
 	flag.Parse()
 
 	cfg := expt.SuiteConfig{Scale: *scale, Workers: *workers}
@@ -125,10 +133,55 @@ func run() error {
 		fmt.Println()
 	}
 
+	// Deliberately outside -all: sweep points at scale >= 1 run for hours,
+	// so the scale sweep only runs when asked for by name.
+	if *scaleSweep {
+		any = true
+		fmt.Println("== Scale sweep (sharded optimizer) ==")
+		scales, err := parseFloats(*sweepScales)
+		if err != nil {
+			return fmt.Errorf("-sweep-scales: %w", err)
+		}
+		shards, err := parseInts(*sweepShards)
+		if err != nil {
+			return fmt.Errorf("-sweep-shards: %w", err)
+		}
+		pts, err := expt.RunScaleSweep(cfg, *sweepDesign, scales, shards)
+		if err != nil {
+			return err
+		}
+		expt.WriteScaleSweep(os.Stdout, pts)
+		fmt.Println()
+	}
+
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
 	fmt.Printf("total %s (scale %.2f)\n", time.Since(start).Round(time.Second), *scale)
 	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -56,6 +58,10 @@ func run() error {
 	workers := flag.Int("workers", 8, "parallel window solvers")
 	solverWorkers := flag.Int("solver-workers", 0,
 		"branch-and-bound workers inside each window MILP (0: sequential)")
+	shards := flag.Int("shards", 0,
+		"spatial window-grid shards run concurrently (0/1: single shard; any count gives identical placements)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
 	guided := flag.Bool("guided", false,
 		"proxy-guided window selection: spend MILP budget hottest-family-first")
 	guidedCold := flag.Float64("guided-cold", 0,
@@ -71,6 +77,34 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Written on the way out (after the deferred StopCPUProfile),
+		// capturing the flow's end-state live heap.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vm1opt: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "vm1opt: memprofile:", err)
+			}
+		}()
+	}
 
 	arch := tech.ClosedM1
 	if *archStr == "openm1" {
@@ -92,6 +126,7 @@ func run() error {
 		Sequence:       seq,
 		Workers:        *workers,
 		SolverWorkers:  *solverWorkers,
+		Shards:         *shards,
 		Guided:         *guided,
 		GuidedColdFrac: *guidedCold,
 		GuidedShrink:   *guidedShrink,
@@ -133,8 +168,8 @@ func specFor(name string, n int, scale float64) (expt.DesignSpec, error) {
 				d.NumInsts = n
 			} else if scale > 0 && scale != 1.0 {
 				d.NumInsts = int(float64(d.NumInsts) * scale)
-				if d.NumInsts < 200 {
-					d.NumInsts = 200
+				if d.NumInsts < expt.MinScaledInsts {
+					d.NumInsts = expt.MinScaledInsts
 				}
 			}
 			return d, nil
@@ -171,6 +206,9 @@ func runOnDEF(ctx context.Context, lefPath, defPath, outPath string, cfg expt.Fl
 	}
 	if cfg.Workers > 0 {
 		prm.Workers = cfg.Workers
+	}
+	if cfg.Shards > 1 {
+		prm.Shards = cfg.Shards
 	}
 	if cfg.Guided {
 		// DEF path has no init-route feedback stage; the estimator runs

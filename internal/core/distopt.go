@@ -55,8 +55,53 @@ func DistOpt(p *layout.Placement, prm Params, ps ParamSet, tx, ty int64,
 	}
 	// ctx-ok: context-free compatibility entry point; cancellable callers use distPass via VM1OptCtx.
 	obj, _ := distPass(context.Background(), t, ps, makeGrid(p, ps, tx, ty),
-		newSolverPool(workersOf(prm)), allowMove, allowFlip)
+		newSolverPool(poolWorkers(prm)), allowMove, allowFlip)
 	return obj
+}
+
+// diagonalFamilies groups the grid's windows into diagonal families:
+// family f holds windows with (wi - wj) ≡ f (mod D); within a family,
+// window x indices and y indices are all distinct, so projections are
+// disjoint and the family's windows never interfere.
+func diagonalFamilies(g passGrid) [][]int {
+	d := g.nwx
+	if g.nwy > d {
+		d = g.nwy
+	}
+	var families [][]int
+	for f := 0; f < d; f++ {
+		var fam []int
+		for wj := 0; wj < g.nwy; wj++ {
+			for wi := 0; wi < g.nwx; wi++ {
+				if ((wi-wj)%d+d)%d == f {
+					fam = append(fam, wj*g.nwx+wi)
+				}
+			}
+		}
+		if len(fam) > 0 {
+			families = append(families, fam)
+		}
+	}
+	return families
+}
+
+// appendWindowMoves appends one solved window's accepted relocations to
+// moves, comparing each candidate against the live (pre-commit)
+// placement so unmoved cells produce no Move. Shared by the pipelined
+// and sharded inner loops: during a family the placement is read-only,
+// so the comparison is race-free wherever extraction happens.
+func appendWindowMoves(moves []Move, p *layout.Placement, w *window, assign []int) []Move {
+	if assign == nil {
+		return moves
+	}
+	for ci, inst := range w.movable {
+		cd := w.cand[ci][assign[ci]]
+		if cd.site == p.SiteX[inst] && cd.row == p.Row[inst] && cd.flip == p.Flip[inst] {
+			continue // cell kept its placement; nothing to refresh
+		}
+		moves = append(moves, Move{Inst: inst, Site: cd.site, Row: cd.row, Flip: cd.flip})
+	}
+	return moves
 }
 
 // distPass runs one DistOpt pass through an ObjTracker. Each family's
@@ -84,28 +129,7 @@ func distPass(ctx context.Context, t *ObjTracker, ps ParamSet, g passGrid,
 	pool *solverPool, allowMove, allowFlip bool) (Objective, error) {
 	p, prm := t.p, t.prm
 	fprm := familyParams(ctx, prm)
-
-	// Diagonal scheduling: family f holds windows with (wi - wj) ≡ f
-	// (mod D); within a family, window x indices and y indices are all
-	// distinct, so projections are disjoint.
-	d := g.nwx
-	if g.nwy > d {
-		d = g.nwy
-	}
-	var families [][]int
-	for f := 0; f < d; f++ {
-		var fam []int
-		for wj := 0; wj < g.nwy; wj++ {
-			for wi := 0; wi < g.nwx; wi++ {
-				if ((wi-wj)%d+d)%d == f {
-					fam = append(fam, wj*g.nwx+wi)
-				}
-			}
-		}
-		if len(fam) > 0 {
-			families = append(families, fam)
-		}
-	}
+	families := diagonalFamilies(g)
 
 	// Guided selection: score the windows with the QoR proxy and derive
 	// the family processing order, skip set and per-window budgets;
@@ -123,6 +147,16 @@ func distPass(ctx context.Context, t *ObjTracker, ps ParamSet, g passGrid,
 		q := fprm
 		q.TimeLimit = plan.wtl[wi]
 		return q
+	}
+
+	if shardsOf(prm) > 1 {
+		// Spatially sharded inner loop (distopt_shard.go): column stripes
+		// of the grid run concurrently, windows are materialized lazily
+		// and released per window, and each family's moves merge at the
+		// barrier in family window order — the identical single batch the
+		// loop below commits, so placements match bit for bit.
+		return distPassSharded(ctx, t, ps, g, pool, fprm, families, plan,
+			allowMove, allowFlip)
 	}
 
 	var moves []Move
@@ -198,17 +232,7 @@ func distPass(ctx context.Context, t *ObjTracker, ps ParamSet, g passGrid,
 
 		moves = moves[:0]
 		for k, w := range cur {
-			assign := assigns[k]
-			if assign == nil {
-				continue
-			}
-			for ci, inst := range w.movable {
-				cd := w.cand[ci][assign[ci]]
-				if cd.site == p.SiteX[inst] && cd.row == p.Row[inst] && cd.flip == p.Flip[inst] {
-					continue // cell kept its placement; nothing to refresh
-				}
-				moves = append(moves, Move{Inst: inst, Site: cd.site, Row: cd.row, Flip: cd.flip})
-			}
+			moves = appendWindowMoves(moves, p, w, assigns[k])
 		}
 		pool.putWindows(cur)
 		if len(moves) > 0 {

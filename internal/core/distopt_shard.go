@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"vm1place/internal/shard"
+)
+
+// distPassSharded is distPass's inner loop for Params.Shards > 1: the
+// window grid is split into contiguous column stripes (internal/shard),
+// every stripe walks its slice of each diagonal family concurrently, and
+// the stripes meet at a barrier per family where their moves merge into
+// the one ApplyMoves batch the single-shard engine would have committed.
+//
+// Determinism/bit-identity with the pipelined path:
+//
+//   - During a family the placement is read-only (moves commit only at
+//     the barrier), window geometry is tile-local, and each window's
+//     solve is independent of the worker and arena that runs it (the
+//     PR 7 worker-invariance property) — so per-window results cannot
+//     depend on the stripe assignment.
+//   - Each window's moves land at its family-order position and the
+//     barrier concatenates them in that order, which is exactly the
+//     order the single-shard loop extracts them in; one ApplyMoves per
+//     family then leaves identical tracker and estimator state. The
+//     shard "index order" merge is this family-window order: windows of
+//     a stripe appear in it exactly as the partition's column ranges
+//     interleave the family.
+//
+// Memory: unlike the pipelined path — which materializes a whole family
+// (plus the next family's geometry) at once — each worker materializes
+// one window at a time from the freelist slabs and releases it the
+// moment its moves are extracted, so live window storage is bounded by
+// the worker count, not the grid. That is what makes peak memory
+// sublinear in windows on large designs; the price is that the sharded
+// path does not prebuild the next family's geometry during solves.
+//
+// Cancellation matches distPass: checked between families (the commit
+// boundaries), so an interrupted pass returns a legal placement and a
+// consistent tracker.
+func distPassSharded(ctx context.Context, t *ObjTracker, ps ParamSet, g passGrid,
+	pool *solverPool, fprm Params, families [][]int, plan famPlan,
+	allowMove, allowFlip bool) (Objective, error) {
+	p, prm := t.p, t.prm
+
+	// Stripe the grid by predicted load: the proxy's window scores when
+	// guided scoring ran, otherwise each window's instance population —
+	// both predict solve work far better than raw window area.
+	winLoad := plan.score
+	if winLoad == nil {
+		winLoad = make([]float64, len(g.buckets))
+		for w := range g.buckets {
+			winLoad[w] = float64(len(g.buckets[w]))
+		}
+	}
+	part := shard.Plan(g.nwx, g.nwy, shardsOf(prm), winLoad)
+
+	perShard := pool.workers / part.K()
+	if perShard < 1 {
+		perShard = 1
+	}
+
+	// Per-stripe worklists, rebuilt per family: work[s] holds the
+	// family-order positions of the windows stripe s owns. Building them
+	// by a single in-order walk over the family keeps the stripe
+	// assignment a pure function of (grid, loads, shard count).
+	work := make([][]int, part.K())
+	var moves []Move
+	for oi := 0; oi < len(plan.order); oi++ {
+		if err := ctx.Err(); err != nil {
+			return t.Objective(), err
+		}
+		fam := families[plan.order[oi]]
+		for s := range work {
+			work[s] = work[s][:0]
+		}
+		for kpos, wid := range fam {
+			s := part.OwnerOf(wid)
+			work[s] = append(work[s], kpos)
+		}
+
+		// famMoves[kpos] collects window kpos's accepted relocations;
+		// slots are written by exactly one worker, read after the
+		// barrier.
+		famMoves := make([][]Move, len(fam))
+		var wg sync.WaitGroup
+		for s := 0; s < part.K(); s++ {
+			tasks := work[s]
+			if len(tasks) == 0 {
+				continue
+			}
+			workers := perShard
+			if workers > len(tasks) {
+				workers = len(tasks)
+			}
+			cursor := new(atomic.Int64)
+			for wk := 0; wk < workers; wk++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					// Borrow a solve workspace inside the goroutine:
+					// with K stripes sharing the pool, takes block until
+					// a workspace frees rather than a stripe holding one
+					// idle.
+					sv := <-pool.solvers
+					defer func() { pool.solvers <- sv }()
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= len(tasks) {
+							return
+						}
+						kpos := tasks[i]
+						wid := fam[kpos]
+						q := fprm
+						q.TimeLimit = plan.wtl[wid]
+						w := pool.getWindow()
+						w.buildGeom(p, q, g.rects[wid], ps, g.buckets[wid],
+							allowMove, allowFlip)
+						w.buildNetsPairs()
+						w.sv = sv
+						assign := w.solve()
+						w.sv = nil
+						famMoves[kpos] = appendWindowMoves(famMoves[kpos][:0], p, w, assign)
+						pool.putWindow(w)
+					}
+				}()
+			}
+		}
+		wg.Wait()
+
+		// Family barrier: merge every stripe's moves in family window
+		// order — the single-shard extraction order — and commit them as
+		// one batch.
+		moves = moves[:0]
+		for _, wm := range famMoves {
+			moves = append(moves, wm...)
+		}
+		if len(moves) > 0 {
+			t.ApplyMoves(moves)
+		}
+	}
+	return t.Objective(), nil
+}

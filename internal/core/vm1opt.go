@@ -78,7 +78,7 @@ func vm1optRun(ctx context.Context, p *layout.Placement, prm Params, u Sequence,
 	}
 	res := Result{Initial: t.Objective()}
 	obj := res.Initial
-	pool := newSolverPool(workersOf(prm))
+	pool := newSolverPool(poolWorkers(prm))
 
 	var runErr error
 loop:

@@ -59,14 +59,27 @@ var PaperDesigns = []DesignSpec{
 	{Name: "vga", NumInsts: 68606, Seed: 104},
 }
 
-// ScaledDesigns returns the paper designs scaled by factor (min 200
-// instances), for fast benches.
+// MinScaledInsts is the instance floor ScaledDesigns clamps to: below
+// it, synthetic designs degenerate (utilization targets become
+// unreachable and window grids collapse to a handful of cells), so no
+// scaled point is generated smaller. The floor makes tiny scales
+// saturate: m0 (9922 insts) hits it below scale ≈ 0.0202, so a sweep
+// sampling scales under MinScaledInsts/NumInsts returns the *same*
+// design point again — identical name, instance count and seed — not a
+// smaller one. Sweep drivers should dedupe on NumInsts (see
+// ScaleSweepPoints) rather than assume every scale is distinct.
+const MinScaledInsts = 200
+
+// ScaledDesigns returns the paper designs scaled by factor, clamped to
+// MinScaledInsts, for fast benches. Scales at or below
+// MinScaledInsts/NumInsts all yield the identical floored spec — see
+// MinScaledInsts for why callers sweeping small scales must dedupe.
 func ScaledDesigns(scale float64) []DesignSpec {
 	out := make([]DesignSpec, len(PaperDesigns))
 	for i, d := range PaperDesigns {
 		n := int(float64(d.NumInsts) * scale)
-		if n < 200 {
-			n = 200
+		if n < MinScaledInsts {
+			n = MinScaledInsts
 		}
 		out[i] = DesignSpec{Name: d.Name, NumInsts: n, Seed: d.Seed}
 	}
@@ -95,6 +108,13 @@ type FlowConfig struct {
 	// inside each window MILP (core.Params.SolverWorkers). Zero keeps the
 	// sequential solver; any count >= 2 yields identical placements.
 	SolverWorkers int
+	// Shards splits the optimizer's window grid into that many spatial
+	// column stripes running concurrently with a boundary-straddler halo
+	// (core.Params.Shards). Any shard count yields bit-identical
+	// placements; the sharded loop releases window storage per window, so
+	// large designs peak sublinear in the window count. Zero/one keeps
+	// the pipelined single-shard engine.
+	Shards int
 	// TimeLimit overrides the optimizer's per-window MILP wall budget:
 	// positive sets it, negative disables it entirely (node-capped only —
 	// with Workers=1 the whole flow is then bit-for-bit deterministic),
@@ -136,6 +156,9 @@ func (cfg FlowConfig) params(t *tech.Tech) core.Params {
 	}
 	if cfg.SolverWorkers > 0 {
 		prm.SolverWorkers = cfg.SolverWorkers
+	}
+	if cfg.Shards > 1 {
+		prm.Shards = cfg.Shards
 	}
 	switch {
 	case cfg.TimeLimit > 0:

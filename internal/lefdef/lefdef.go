@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"io"
 	"strconv"
-	"strings"
 
 	"vm1place/internal/cells"
 	"vm1place/internal/geom"
@@ -142,38 +141,74 @@ func WriteDEF(w io.Writer, p *layout.Placement) error {
 }
 
 // tokenizer splits LEF/DEF into whitespace-separated tokens, treating
-// parentheses as separate tokens.
+// parentheses as separate tokens. It reads byte-wise off a bufio.Reader,
+// so memory is O(longest token) regardless of line length — DEF writers
+// (ours included) put an entire net on one line, and a large design's
+// clock net makes that line arbitrarily long, which is why the previous
+// line-based Scanner (1 MiB line cap) could not stream big DEFs.
 type tokenizer struct {
-	s   *bufio.Scanner
-	buf []string
+	r       *bufio.Reader
+	tok     []byte   // reused accumulation buffer for the current token
+	pending []string // peeked tokens pushed back, consumed LIFO
 }
 
 func newTokenizer(r io.Reader) *tokenizer {
-	s := bufio.NewScanner(r)
-	s.Buffer(make([]byte, 1024*1024), 1024*1024)
-	return &tokenizer{s: s}
+	return &tokenizer{r: bufio.NewReaderSize(r, 64*1024)}
 }
 
-// next returns the next token, or "" at EOF.
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// next returns the next token, or "" at EOF (or on a read error, which
+// the statement parsers then surface as a truncated/invalid input).
 func (tk *tokenizer) next() string {
-	for len(tk.buf) == 0 {
-		if !tk.s.Scan() {
+	if n := len(tk.pending); n > 0 {
+		t := tk.pending[n-1]
+		tk.pending = tk.pending[:n-1]
+		return t
+	}
+	for {
+		c, err := tk.r.ReadByte()
+		if err != nil {
 			return ""
 		}
-		line := strings.ReplaceAll(tk.s.Text(), "(", " ( ")
-		line = strings.ReplaceAll(line, ")", " ) ")
-		tk.buf = strings.Fields(line)
+		if isSpace(c) {
+			continue
+		}
+		if c == '(' {
+			return "("
+		}
+		if c == ')' {
+			return ")"
+		}
+		tk.tok = append(tk.tok[:0], c)
+		for {
+			c, err := tk.r.ReadByte()
+			if err != nil {
+				break
+			}
+			if isSpace(c) {
+				break
+			}
+			if c == '(' || c == ')' {
+				// Parens bind to no token; leave it for the next call.
+				if uerr := tk.r.UnreadByte(); uerr != nil {
+					panic(uerr) // panic-ok: UnreadByte cannot fail right after a successful ReadByte
+				}
+				break
+			}
+			tk.tok = append(tk.tok, c)
+		}
+		return string(tk.tok)
 	}
-	t := tk.buf[0]
-	tk.buf = tk.buf[1:]
-	return t
 }
 
 // peek returns the next token without consuming it.
 func (tk *tokenizer) peek() string {
 	t := tk.next()
 	if t != "" {
-		tk.buf = append([]string{t}, tk.buf...)
+		tk.pending = append(tk.pending, t)
 	}
 	return t
 }

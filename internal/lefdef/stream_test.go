@@ -1,0 +1,116 @@
+package lefdef
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vm1place/internal/cells"
+	"vm1place/internal/layout"
+	"vm1place/internal/netlist"
+	"vm1place/internal/place"
+	"vm1place/internal/tech"
+)
+
+// TestTokenizerLongLine pins the streaming property the DEF reader needs:
+// a single statement far beyond the old 1 MiB Scanner line cap tokenizes
+// fine, because the tokenizer reads byte-wise and never buffers a line.
+func TestTokenizerLongLine(t *testing.T) {
+	const terms = 250_000 // ≈ 2.5 MB on one line
+	var sb strings.Builder
+	sb.WriteString("- clk")
+	for i := 0; i < terms; i++ {
+		sb.WriteString(" ( ux CK )")
+	}
+	sb.WriteString(" ;\n")
+	if sb.Len() < 2<<20 {
+		t.Fatalf("test line only %d bytes; want > 2 MiB", sb.Len())
+	}
+	tk := newTokenizer(strings.NewReader(sb.String()))
+	if got := tk.next(); got != "-" {
+		t.Fatalf("first token %q", got)
+	}
+	if got := tk.next(); got != "clk" {
+		t.Fatalf("second token %q", got)
+	}
+	rest := tk.until()
+	// 4 tokens per term: ( name CK )
+	if len(rest) != 4*terms {
+		t.Fatalf("got %d tokens, want %d", len(rest), 4*terms)
+	}
+	if rest[0] != "(" || rest[1] != "ux" || rest[2] != "CK" || rest[3] != ")" {
+		t.Fatalf("first term tokens %v", rest[:4])
+	}
+	if tk.next() != "" {
+		t.Fatal("trailing tokens after ;")
+	}
+}
+
+// TestDEFRoundTripMultiMB round-trips a DEF big enough that its clock
+// net — one line in our writer — alone exceeds the old line cap: a
+// 120k-instance, 90% flip-flop design puts >100k sink terms (> 1.5 MB)
+// on that line, and the whole file runs to tens of MB. The parse must
+// stream it and reproduce the placement exactly.
+func TestDEFRoundTripMultiMB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates and round-trips a ~40 MB DEF")
+	}
+	tc := tech.Default()
+	lib := cells.MustNewLibrary(tc, tech.ClosedM1)
+	cfg := netlist.DefaultGenConfig("bigdef", 120_000, 7)
+	cfg.FFRatio = 0.9 // ~108k CK sinks on the single clk NETS line
+	d := netlist.MustGenerate(lib, cfg)
+	p := layout.MustNewFloorplan(tc, d, 0.7)
+	if err := place.Global(p, place.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(d.Insts); i += 7 {
+		p.Flip[i] = true
+	}
+
+	var buf bytes.Buffer
+	if err := WriteDEF(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 8<<20 {
+		t.Fatalf("DEF only %d bytes; want a multi-MB file", buf.Len())
+	}
+	clkLine := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "- clk") && len(line) > clkLine {
+			clkLine = len(line)
+		}
+	}
+	if clkLine < 1<<20 {
+		t.Fatalf("clk NETS line only %d bytes; the test needs it past the old 1 MiB cap", clkLine)
+	}
+
+	got, err := ParseDEF(bytes.NewReader(buf.Bytes()), tc, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Design.Insts) != len(d.Insts) || len(got.Design.Nets) != len(d.Nets) {
+		t.Fatalf("shape changed: %d/%d insts, %d/%d nets",
+			len(got.Design.Insts), len(d.Insts), len(got.Design.Nets), len(d.Nets))
+	}
+	for i := range d.Insts {
+		if got.SiteX[i] != p.SiteX[i] || got.Row[i] != p.Row[i] || got.Flip[i] != p.Flip[i] {
+			t.Fatalf("inst %d placement diverged: (%d,%d,%v) want (%d,%d,%v)", i,
+				got.SiteX[i], got.Row[i], got.Flip[i], p.SiteX[i], p.Row[i], p.Flip[i])
+		}
+	}
+	// The clock net must have survived with every CK sink bound.
+	var clk *netlist.Net
+	for ni := range got.Design.Nets {
+		if got.Design.Nets[ni].IsClock {
+			clk = &got.Design.Nets[ni]
+			break
+		}
+	}
+	if clk == nil {
+		t.Fatal("clock net lost")
+	}
+	if want := 108_000; len(clk.Sinks) < want {
+		t.Fatalf("clock sinks %d, want >= %d", len(clk.Sinks), want)
+	}
+}

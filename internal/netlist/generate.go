@@ -28,6 +28,14 @@ type GenConfig struct {
 	Locality  float64 // stddev of fanin index distance, as fraction of N
 	MaxFanout int     // resample when a net would exceed this fanout
 	NumPorts  int     // primary input pool size (0: derived from N)
+	// ChunkInsts sizes the builder's pin-net slabs in instances (0: 64k):
+	// every instance's PinNets slice is carved from a shared per-chunk
+	// slab instead of allocated individually, so a 1M-instance build
+	// makes tens of slab allocations rather than a million small ones.
+	// Purely a memory-layout knob — the generator's RNG call sequence
+	// never depends on it, so any chunk size yields the identical design
+	// for a given seed (TestGenerateChunkInvariance).
+	ChunkInsts int
 }
 
 // DefaultGenConfig returns sensible defaults for n instances.
@@ -89,6 +97,36 @@ func Generate(lib *cells.Library, cfg GenConfig) (*Design, error) {
 		}
 	}
 
+	// Exact-capacity preallocation: the instance and net counts are known
+	// up front (clock + PIs + one output net per instance), so the big
+	// slices never re-grow — append doubling on million-element slices of
+	// multi-word structs is exactly the transient 2x the chunked builder
+	// exists to avoid.
+	d.Insts = make([]Instance, 0, cfg.NumInsts)
+	d.Nets = make([]Net, 0, 1+nPI+cfg.NumInsts)
+	d.Ports = make([]Port, 0, nPI+1)
+
+	// Pin-net slab: PinNets slices are carved out of chunked backing
+	// arrays. They are fixed-length for the life of the design (one entry
+	// per master pin, never appended), so sharing a backing array is safe.
+	chunk := cfg.ChunkInsts
+	if chunk <= 0 {
+		chunk = 1 << 16
+	}
+	var pinSlab []int
+	carvePins := func(n int) []int {
+		if cap(pinSlab)-len(pinSlab) < n {
+			sz := 4 * chunk // combMix masters average under 4 pins
+			if sz < n {
+				sz = n
+			}
+			pinSlab = make([]int, 0, sz)
+		}
+		s := pinSlab[len(pinSlab) : len(pinSlab)+n : len(pinSlab)+n]
+		pinSlab = pinSlab[:len(pinSlab)+n]
+		return s
+	}
+
 	// Interleave FFs uniformly through the index order so locality-based
 	// fanin selection sees register boundaries everywhere.
 	isFF := make([]bool, cfg.NumInsts)
@@ -143,7 +181,7 @@ func Generate(lib *cells.Library, cfg GenConfig) (*Design, error) {
 		inst := Instance{
 			Name:    fmt.Sprintf("u%d", i),
 			Master:  m,
-			PinNets: make([]int, len(m.Pins)),
+			PinNets: carvePins(len(m.Pins)),
 		}
 		for k := range inst.PinNets {
 			inst.PinNets[k] = -1

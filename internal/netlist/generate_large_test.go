@@ -1,0 +1,134 @@
+package netlist
+
+import (
+	"runtime"
+	"testing"
+
+	"vm1place/internal/cells"
+	"vm1place/internal/tech"
+)
+
+func genLib(t *testing.T) *cells.Library {
+	t.Helper()
+	lib, err := cells.NewLibrary(tech.Default(), tech.ClosedM1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+// TestGenerateChunkInvariance pins the chunked builder's contract: the
+// pin-net slab size is a memory-layout knob only, so one seed yields a
+// bit-identical design for every ChunkInsts setting — including
+// pathological chunk sizes of one instance.
+func TestGenerateChunkInvariance(t *testing.T) {
+	lib := genLib(t)
+	base := DefaultGenConfig("chunks", 3000, 7)
+	ref := MustGenerate(lib, base)
+	for _, chunk := range []int{1, 3, 257, 1 << 20} {
+		cfg := base
+		cfg.ChunkInsts = chunk
+		got := MustGenerate(lib, cfg)
+		if len(got.Insts) != len(ref.Insts) || len(got.Nets) != len(ref.Nets) ||
+			len(got.Ports) != len(ref.Ports) {
+			t.Fatalf("ChunkInsts=%d changed design shape", chunk)
+		}
+		for i := range ref.Insts {
+			if got.Insts[i].Name != ref.Insts[i].Name ||
+				got.Insts[i].Master != ref.Insts[i].Master {
+				t.Fatalf("ChunkInsts=%d inst %d differs", chunk, i)
+			}
+			for k, ni := range ref.Insts[i].PinNets {
+				if got.Insts[i].PinNets[k] != ni {
+					t.Fatalf("ChunkInsts=%d inst %d pin %d: net %d want %d",
+						chunk, i, k, got.Insts[i].PinNets[k], ni)
+				}
+			}
+		}
+		for ni := range ref.Nets {
+			if got.Nets[ni].Name != ref.Nets[ni].Name ||
+				got.Nets[ni].Driver != ref.Nets[ni].Driver ||
+				len(got.Nets[ni].Sinks) != len(ref.Nets[ni].Sinks) {
+				t.Fatalf("ChunkInsts=%d net %d differs", chunk, ni)
+			}
+		}
+	}
+}
+
+// checkConnected asserts every net is driven (by a gate or a port) and
+// every instance input is tied to a net — the "legal/connected"
+// property at scale. Validate() covers index sanity and direction
+// discipline; this adds the no-dangling-input check.
+func checkConnected(t *testing.T, d *Design) {
+	t.Helper()
+	portNets := make([]bool, len(d.Nets))
+	for pi := range d.Ports {
+		if d.Ports[pi].Input {
+			portNets[d.Ports[pi].Net] = true
+		}
+	}
+	for ni := range d.Nets {
+		if d.Nets[ni].Driver.Inst < 0 && !portNets[ni] {
+			t.Fatalf("net %s undriven", d.Nets[ni].Name)
+		}
+	}
+	for i := range d.Insts {
+		for k, ni := range d.Insts[i].PinNets {
+			dir := d.Insts[i].Master.Pins[k].Dir
+			if (dir == cells.Input || dir == cells.Output) && ni < 0 {
+				t.Fatalf("inst %s pin %d dangling", d.Insts[i].Name, k)
+			}
+		}
+	}
+}
+
+// TestGenerateLargeN is the at-scale property test: designs at 1e5 (and
+// 1e6 outside -short) instances generate, validate and stay fully
+// connected.
+func TestGenerateLargeN(t *testing.T) {
+	lib := genLib(t)
+	sizes := []int{100_000}
+	if !testing.Short() {
+		sizes = append(sizes, 1_000_000)
+	}
+	for _, n := range sizes {
+		d, err := Generate(lib, DefaultGenConfig("large", n, 11))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(d.Insts) != n {
+			t.Fatalf("n=%d: got %d insts", n, len(d.Insts))
+		}
+		checkConnected(t, d)
+	}
+}
+
+// genBytes measures cumulative allocation of one Generate call.
+func genBytes(t *testing.T, lib *cells.Library, n int) uint64 {
+	t.Helper()
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	d := MustGenerate(lib, DefaultGenConfig("alloc", n, 23))
+	runtime.ReadMemStats(&m1)
+	runtime.KeepAlive(d)
+	return m1.TotalAlloc - m0.TotalAlloc
+}
+
+// TestGenerateAllocGrowth guards the builder's allocation growth: bytes
+// per Generate must scale ~linearly in the instance count (the chunked
+// slabs and exact-capacity slices leave no superlinear term — before
+// them, append re-growth added a transient ~2x). A 10x instance growth
+// is allowed at most 13x the bytes to absorb map/GC noise.
+func TestGenerateAllocGrowth(t *testing.T) {
+	lib := genLib(t)
+	small := genBytes(t, lib, 20_000)
+	big := genBytes(t, lib, 200_000)
+	if small == 0 {
+		t.Fatal("no allocation measured")
+	}
+	if ratio := float64(big) / float64(small); ratio > 13 {
+		t.Errorf("alloc growth superlinear: 20k -> %d B, 200k -> %d B (ratio %.1f, want <= 13)",
+			small, big, ratio)
+	}
+}

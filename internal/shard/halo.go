@@ -1,0 +1,54 @@
+package shard
+
+// Halo accounting. A shard's halo is everything it reads but must not
+// write: cells straddling window boundaries (immovable for the pass)
+// and net terminals outside its stripe. Between two family barriers the
+// halo is stable — moves commit only at barriers — so shards need no
+// locking, only the deterministic merge the optimizer performs at each
+// barrier. These helpers quantify the exchange so benches and tests can
+// assert the boundary stays thin relative to shard interiors.
+
+// Boundaries returns the interior cut columns of the partition (the
+// window-grid x-indices where one stripe ends and the next begins),
+// i.e. cuts[1:K]. The slice is freshly allocated.
+func (p Partition) Boundaries() []int {
+	b := make([]int, 0, p.K()-1)
+	for s := 1; s < p.K(); s++ {
+		b = append(b, p.cuts[s])
+	}
+	return b
+}
+
+// HaloCounts reports, per stripe, how many windows touch a stripe
+// boundary (own a column adjacent to an interior cut). Those windows'
+// straddler sets form the halo exchanged at family barriers; interior
+// windows never observe another shard at all.
+func (p Partition) HaloCounts() []int {
+	h := make([]int, p.K())
+	for s := 0; s < p.K(); s++ {
+		lo, hi := p.Stripe(s)
+		cols := 0
+		if lo > 0 {
+			cols++ // leftmost column borders stripe s-1
+		}
+		if hi < p.nwx {
+			cols++ // rightmost column borders stripe s+1
+		}
+		if w := hi - lo; cols > w {
+			cols = w
+		}
+		h[s] = cols * p.nwy
+	}
+	return h
+}
+
+// HaloFrac returns the fraction of all windows that sit on a stripe
+// boundary — the share of the grid whose straddler halos are exchanged
+// at barriers. 0 for a single stripe.
+func (p Partition) HaloFrac() float64 {
+	tot := 0
+	for _, h := range p.HaloCounts() {
+		tot += h
+	}
+	return float64(tot) / float64(p.NumWindows())
+}

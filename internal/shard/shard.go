@@ -1,0 +1,198 @@
+// Package shard owns the spatial partition of the DistOpt window grid:
+// contiguous column stripes of windows, balanced by predicted
+// optimization load, that the optimizer runs concurrently with a
+// boundary-halo exchange at window-family barriers.
+//
+// The partition is a pure function of its inputs — grid dimensions, shard
+// count and per-window loads — with no clocks, randomness or map
+// iteration, so a sharded run's schedule is exactly as reproducible as
+// the single-shard optimizer's. The package is a leaf: it knows nothing
+// about placements or estimators. Callers (internal/core) pass
+// per-window load predictions — the congestion proxy's window scores
+// when guided selection is active, instance populations otherwise — so
+// stripes are balanced by predicted work, not raw die area.
+//
+// Non-interference across shard boundaries follows from the same
+// argument as the diagonal window families (DESIGN.md §4f): windows are
+// disjoint rectangles, a movable cell lives in exactly one window, and
+// cells straddling window (hence stripe) boundaries are immovable for
+// the whole pass. A shard therefore only ever relocates cells that no
+// other shard can touch; everything else it reads — terminals of nets
+// reaching outside the stripe, straddlers blocking boundary sites — is
+// its read-only halo, stable between family barriers because moves
+// commit only at barriers.
+package shard
+
+// Partition is a split of an nwx x nwy window grid into contiguous
+// window-column stripes. Stripe s owns window columns
+// [cuts[s], cuts[s+1]); every window column belongs to exactly one
+// stripe and stripes are never empty, so the effective shard count K()
+// may be lower than requested on narrow grids.
+type Partition struct {
+	nwx, nwy int
+	cuts     []int     // len K+1; cuts[0] = 0, cuts[K] = nwx, strictly increasing
+	loads    []float64 // per-stripe predicted load (diagnostic)
+}
+
+// Plan partitions an nwx x nwy window grid into at most k contiguous
+// column stripes, minimizing the maximum per-stripe load. winLoad, when
+// non-nil, holds one predicted-load entry per window in row-major order
+// (window id w = wj*nwx + wi); nil weighs every window equally.
+// Negative loads are treated as zero.
+//
+// The minimax split is found by bisecting the stripe capacity between
+// the heaviest single column and the total load, then carving greedily
+// left to right — deterministic for identical inputs, O(nwx log 1/eps)
+// time, no allocation beyond the result.
+func Plan(nwx, nwy, k int, winLoad []float64) Partition {
+	if nwx < 1 {
+		nwx = 1
+	}
+	if nwy < 1 {
+		nwy = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > nwx {
+		k = nwx
+	}
+
+	// Column loads: fold the window loads of each grid column. A missing
+	// or short winLoad weighs windows equally, so an empty proxy still
+	// yields a balanced split. Every column gets a tiny floor so carving
+	// never produces an empty stripe out of a dead region.
+	col := make([]float64, nwx)
+	for wi := range col {
+		for wj := 0; wj < nwy; wj++ {
+			w := wj*nwx + wi
+			l := 1.0
+			if winLoad != nil {
+				l = 0
+				if w < len(winLoad) && winLoad[w] > 0 {
+					l = winLoad[w]
+				}
+			}
+			col[wi] += l
+		}
+	}
+
+	maxCol, total := 0.0, 0.0
+	for _, c := range col {
+		if c > maxCol {
+			maxCol = c
+		}
+		total += c
+	}
+
+	// Bisect the stripe capacity: the smallest C >= max(col) such that a
+	// greedy left-to-right carve fits in at most k stripes. Pure float
+	// bisection on deterministic inputs keeps the plan reproducible.
+	lo, hi := maxCol, total
+	for it := 0; it < 64 && hi-lo > 1e-9*(1+total); it++ {
+		mid := lo + (hi-lo)/2
+		if stripesNeeded(col, mid) <= k {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return carve(nwx, nwy, k, col, hi)
+}
+
+// stripesNeeded counts the stripes a greedy left-to-right carve uses at
+// capacity c (each stripe takes columns until adding the next would
+// exceed c; a column heavier than c still gets a stripe of its own).
+func stripesNeeded(col []float64, c float64) int {
+	n, acc := 1, 0.0
+	for i, l := range col {
+		if i > 0 && acc+l > c {
+			n++
+			acc = 0
+		}
+		acc += l
+	}
+	return n
+}
+
+// carve materializes the greedy split at capacity c, guaranteeing
+// exactly min(k, nwx) stripes: when the remaining columns barely cover
+// the remaining stripes, every leftover column becomes its own stripe so
+// no stripe ends up empty.
+func carve(nwx, nwy, k int, col []float64, c float64) Partition {
+	p := Partition{
+		nwx:   nwx,
+		nwy:   nwy,
+		cuts:  make([]int, 1, k+1),
+		loads: make([]float64, 0, k),
+	}
+	acc := 0.0
+	for i, l := range col {
+		// len(p.cuts) counts stripes already begun (the initial stripe
+		// plus one per cut), so a cut is legal only while it is < k, and
+		// is forced once the columns left barely cover the stripes left.
+		forceCut := nwx-i <= k-len(p.cuts)
+		if i > 0 && (forceCut || acc+l > c) && len(p.cuts) < k {
+			p.cuts = append(p.cuts, i)
+			p.loads = append(p.loads, acc)
+			acc = 0
+		}
+		acc += l
+	}
+	p.cuts = append(p.cuts, nwx)
+	p.loads = append(p.loads, acc)
+	return p
+}
+
+// K is the effective stripe count (≤ the requested shard count).
+func (p Partition) K() int { return len(p.cuts) - 1 }
+
+// NumWindows is the total window count of the partitioned grid.
+func (p Partition) NumWindows() int { return p.nwx * p.nwy }
+
+// OwnerCol returns the stripe owning window column wi. Columns are
+// clamped into the grid, so callers may pass raw indices.
+func (p Partition) OwnerCol(wi int) int {
+	if wi < 0 {
+		wi = 0
+	}
+	if wi >= p.nwx {
+		wi = p.nwx - 1
+	}
+	// Stripe counts are small (machine core counts), so a linear scan
+	// beats binary search and stays branch-predictable.
+	for s := 1; s < len(p.cuts); s++ {
+		if wi < p.cuts[s] {
+			return s - 1
+		}
+	}
+	return len(p.cuts) - 2
+}
+
+// OwnerOf returns the stripe owning window id w (row-major:
+// w = wj*nwx + wi).
+func (p Partition) OwnerOf(w int) int { return p.OwnerCol(w % p.nwx) }
+
+// Stripe returns the half-open window-column range [lo, hi) of stripe s.
+func (p Partition) Stripe(s int) (lo, hi int) { return p.cuts[s], p.cuts[s+1] }
+
+// Windows returns how many windows stripe s owns.
+func (p Partition) Windows(s int) int {
+	lo, hi := p.Stripe(s)
+	return (hi - lo) * p.nwy
+}
+
+// Loads returns the per-stripe predicted load the carve settled on. The
+// slice is owned by the Partition; callers must not mutate it.
+func (p Partition) Loads() []float64 { return p.loads }
+
+// MaxLoad returns the heaviest stripe's predicted load.
+func (p Partition) MaxLoad() float64 {
+	m := 0.0
+	for _, l := range p.loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}

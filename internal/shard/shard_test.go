@@ -1,0 +1,180 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkInvariants asserts the structural contract every Plan result must
+// satisfy: monotone cuts covering [0, nwx], no empty stripe, effective K
+// within the request, and OwnerCol/OwnerOf consistent with Stripe.
+func checkInvariants(t *testing.T, p Partition, nwx, nwy, k int) {
+	t.Helper()
+	if p.K() < 1 || p.K() > k || p.K() > nwx {
+		t.Fatalf("K=%d out of range (nwx=%d k=%d)", p.K(), nwx, k)
+	}
+	if p.cuts[0] != 0 || p.cuts[p.K()] != nwx {
+		t.Fatalf("cuts %v do not cover [0,%d)", p.cuts, nwx)
+	}
+	for s := 0; s < p.K(); s++ {
+		lo, hi := p.Stripe(s)
+		if hi <= lo {
+			t.Fatalf("empty stripe %d: [%d,%d)", s, lo, hi)
+		}
+		if p.Windows(s) != (hi-lo)*nwy {
+			t.Fatalf("Windows(%d)=%d want %d", s, p.Windows(s), (hi-lo)*nwy)
+		}
+		for wi := lo; wi < hi; wi++ {
+			if got := p.OwnerCol(wi); got != s {
+				t.Fatalf("OwnerCol(%d)=%d want %d", wi, got, s)
+			}
+		}
+	}
+	for w := 0; w < nwx*nwy; w++ {
+		if got, want := p.OwnerOf(w), p.OwnerCol(w%nwx); got != want {
+			t.Fatalf("OwnerOf(%d)=%d want %d", w, got, want)
+		}
+	}
+	if len(p.Loads()) != p.K() {
+		t.Fatalf("len(Loads)=%d want K=%d", len(p.Loads()), p.K())
+	}
+}
+
+func TestPlanUniform(t *testing.T) {
+	for _, tc := range []struct{ nwx, nwy, k int }{
+		{1, 1, 1}, {1, 1, 8}, {2, 3, 2}, {8, 8, 4}, {16, 5, 8},
+		{17, 3, 4}, {100, 1, 8}, {7, 7, 7}, {3, 9, 8},
+	} {
+		p := Plan(tc.nwx, tc.nwy, tc.k, nil)
+		checkInvariants(t, p, tc.nwx, tc.nwy, tc.k)
+		wantK := tc.k
+		if tc.nwx < wantK {
+			wantK = tc.nwx
+		}
+		if p.K() != wantK {
+			t.Errorf("nwx=%d k=%d: K=%d want %d", tc.nwx, tc.k, p.K(), wantK)
+		}
+		// Uniform loads: max stripe within 2x of the ideal share (the
+		// greedy minimax carve is a 2-approximation at worst; on these
+		// shapes it is much tighter, but 2x is the contract we rely on).
+		ideal := float64(tc.nwx*tc.nwy) / float64(wantK)
+		if m := p.MaxLoad(); m > 2*ideal+float64(tc.nwy) {
+			t.Errorf("nwx=%d nwy=%d k=%d: MaxLoad=%.1f ideal=%.1f", tc.nwx, tc.nwy, tc.k, m, ideal)
+		}
+	}
+}
+
+func TestPlanWeighted(t *testing.T) {
+	// One hot column (index 5) carrying half the total load: it must end
+	// up isolated enough that no stripe exceeds hot-column + neighbors.
+	nwx, nwy, k := 12, 4, 4
+	load := make([]float64, nwx*nwy)
+	for w := range load {
+		load[w] = 1
+		if w%nwx == 5 {
+			load[w] = float64(nwx) // column 5 is nwx times hotter
+		}
+	}
+	p := Plan(nwx, nwy, k, load)
+	checkInvariants(t, p, nwx, nwy, k)
+	hot := p.OwnerCol(5)
+	lo, hi := p.Stripe(hot)
+	if hi-lo > nwx/2 {
+		t.Errorf("hot column not isolated: stripe [%d,%d)", lo, hi)
+	}
+	// Total load must be conserved across stripes.
+	tot := 0.0
+	for _, l := range p.Loads() {
+		tot += l
+	}
+	want := float64(nwy) * float64(nwx-1+nwx)
+	if diff := tot - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("load not conserved: got %.3f want %.3f", tot, want)
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		nwx, nwy := 1+rng.Intn(40), 1+rng.Intn(10)
+		k := 1 + rng.Intn(10)
+		load := make([]float64, nwx*nwy)
+		for w := range load {
+			load[w] = rng.Float64() * 10
+			if rng.Intn(10) == 0 {
+				load[w] = -load[w] // negatives must be tolerated
+			}
+		}
+		a := Plan(nwx, nwy, k, load)
+		b := Plan(nwx, nwy, k, append([]float64(nil), load...))
+		checkInvariants(t, a, nwx, nwy, k)
+		if a.K() != b.K() {
+			t.Fatalf("trial %d: K %d vs %d", trial, a.K(), b.K())
+		}
+		for s := range a.cuts {
+			if a.cuts[s] != b.cuts[s] {
+				t.Fatalf("trial %d: cuts %v vs %v", trial, a.cuts, b.cuts)
+			}
+		}
+	}
+}
+
+func TestPlanDegenerate(t *testing.T) {
+	// Zero/absent loads, k > nwx, k < 1, short winLoad slices: all must
+	// produce a valid partition rather than panic or emit empty stripes.
+	for _, tc := range []struct {
+		nwx, nwy, k int
+		load        []float64
+	}{
+		{5, 2, 8, make([]float64, 10)}, // all-zero loads
+		{4, 4, 0, nil},                 // k clamped up
+		{-3, -1, 2, nil},               // degenerate grid clamped to 1x1
+		{6, 2, 3, []float64{1, 2}},     // short load slice
+	} {
+		nwx, nwy := tc.nwx, tc.nwy
+		if nwx < 1 {
+			nwx = 1
+		}
+		if nwy < 1 {
+			nwy = 1
+		}
+		k := tc.k
+		if k < 1 {
+			k = 1
+		}
+		p := Plan(tc.nwx, tc.nwy, tc.k, tc.load)
+		checkInvariants(t, p, nwx, nwy, k)
+	}
+}
+
+func TestHalo(t *testing.T) {
+	p := Plan(12, 3, 4, nil)
+	if p.K() != 4 {
+		t.Fatalf("K=%d want 4", p.K())
+	}
+	b := p.Boundaries()
+	if len(b) != 3 {
+		t.Fatalf("Boundaries=%v want 3 cuts", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("boundaries not increasing: %v", b)
+		}
+	}
+	h := p.HaloCounts()
+	// End stripes touch one boundary, interior stripes two.
+	if h[0] != 1*3 || h[3] != 1*3 {
+		t.Errorf("end halos %v want 3", h)
+	}
+	if h[1] != 2*3 || h[2] != 2*3 {
+		t.Errorf("interior halos %v want 6", h)
+	}
+	if f := p.HaloFrac(); f <= 0 || f >= 1 {
+		t.Errorf("HaloFrac=%v want in (0,1)", f)
+	}
+	// Single stripe: no boundaries, zero halo.
+	one := Plan(12, 3, 1, nil)
+	if len(one.Boundaries()) != 0 || one.HaloFrac() != 0 {
+		t.Errorf("single-stripe halo: boundaries=%v frac=%v", one.Boundaries(), one.HaloFrac())
+	}
+}
