@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint test race bench-smoke bench-proxy bench-json bench-core bench-route bench-scale bench-scale-smoke
+.PHONY: check vet lint test race bench-smoke bench-proxy bench-objective bench-json bench-core bench-route bench-scale bench-scale-smoke
 
 check: vet lint test race bench-smoke
 
@@ -26,12 +26,19 @@ test:
 # batched parallel router sharing live usage arrays, and the pipeline /
 # parallel-sweep layers (flow, expt) that fan work out over them.
 race:
-	$(GO) test -race -timeout 30m ./internal/core/... ./internal/lp/... ./internal/milp/... ./internal/route/... ./internal/flow/... ./internal/expt/...
+	$(GO) test -race -timeout 30m ./internal/core/... ./internal/lp/... ./internal/milp/... ./internal/route/... ./internal/flow/... ./internal/expt/... ./internal/objective/...
 
 # One iteration of each substrate microbenchmark — a fast sanity pass that
 # the benchmarks still build and run, not a measurement.
-bench-smoke: bench-proxy bench-scale-smoke
+bench-smoke: bench-proxy bench-objective bench-scale-smoke
 	$(GO) test -run '^$$' -bench 'DistOptPass|LPSolve|CalculateObj' -benchtime 1x -timeout 20m .
+
+# One rescan per registered geometry objective (BenchmarkObjectiveEval
+# sub-benches). The measured series lands in BENCH_core.json's
+# ObjectiveEval/<name> entries via bench-json; this target is the fast
+# standalone pass.
+bench-objective:
+	$(GO) test -run '^$$' -bench 'ObjectiveEval' -benchtime 1x -timeout 10m .
 
 # CI-sized scale sweep: one tiny design through the full flow at shard
 # counts 1 and 2, checking the sharded engine completes, samples a peak

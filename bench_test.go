@@ -19,6 +19,7 @@ import (
 	"vm1place/internal/lp"
 	"vm1place/internal/milp"
 	"vm1place/internal/netlist"
+	"vm1place/internal/objective"
 	"vm1place/internal/place"
 	"vm1place/internal/proxy"
 	"vm1place/internal/route"
@@ -341,6 +342,40 @@ func BenchmarkCalculateObjFull(b *testing.B) {
 	}
 }
 
+// benchObjectiveEval measures the full-design objective rescan for one
+// registered geometry objective — the per-objective cost of the pluggable
+// PairEval/PairAlpha hooks on the rescan hot path.
+func benchObjectiveEval(b *testing.B, name string) {
+	b.Helper()
+	o, err := objective.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := placedDesign(b, o.Arch(), 800)
+	prm := core.DefaultParams(p.Tech, o.Arch())
+	prm.Objective = o
+	netAlpha := make([]float64, len(p.Design.Nets))
+	for ni := range netAlpha {
+		netAlpha[ni] = 1 + float64(ni%5)/4 // exercise the per-net α path
+	}
+	prm.NetAlpha = netAlpha
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj := core.CalculateObj(p, prm)
+		if obj.HPWL <= 0 {
+			b.Fatal("bad objective")
+		}
+	}
+}
+
+// BenchmarkObjectiveEval runs the rescan bench once per registered
+// objective; new objectives join the series the moment they register.
+func BenchmarkObjectiveEval(b *testing.B) {
+	for _, name := range objective.Names() {
+		b.Run(name, func(b *testing.B) { benchObjectiveEval(b, name) })
+	}
+}
+
 // BenchmarkLPSolve measures the simplex on a random dense-ish LP.
 func BenchmarkLPSolve(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
@@ -481,6 +516,17 @@ func TestEmitBenchCoreJSON(t *testing.T) {
 		{"LPSolve", BenchmarkLPSolve, 0, 0},
 		{"CalculateObjIncremental", BenchmarkCalculateObjIncremental, 0, 0},
 		{"CalculateObjFull", BenchmarkCalculateObjFull, 0, 0},
+	}
+	// Per-objective rescan series (make bench-objective runs the same
+	// benchmarks standalone); Names() is sorted, so the series order is
+	// stable run to run.
+	for _, name := range objective.Names() {
+		benches = append(benches, struct {
+			name          string
+			fn            func(*testing.B)
+			workers       int
+			solverWorkers int
+		}{"ObjectiveEval/" + name, func(b *testing.B) { benchObjectiveEval(b, name) }, 0, 0})
 	}
 	type qor struct {
 		RWL      int64 `json:"rwl"`

@@ -37,6 +37,8 @@ func run() error {
 	table2 := flag.Bool("table2", false, "ExptB: full-design results")
 	ablate := flag.Bool("ablate", false, "sequential-vs-joint flip ablation")
 	guided := flag.Bool("guided", false, "uniform-vs-guided window budgeting sweep")
+	objSweep := flag.Bool("objsweep", false,
+		"pluggable-objective workloads: netsep margins, slackalpha weights, track-count variants")
 	scaleSweep := flag.Bool("scalesweep", false,
 		"design-scale sweep: wall, peak heap and routed QoR vs instance and shard count")
 	archStr := flag.String("arch", "closedm1", "architecture for -fig6")
@@ -130,6 +132,17 @@ func run() error {
 			return err
 		}
 		expt.WriteGuidedSweep(os.Stdout, pts)
+		fmt.Println()
+	}
+
+	if *all || *objSweep {
+		any = true
+		fmt.Println("== Objective sweep (pluggable workloads) ==")
+		pts, err := expt.RunObjSweep(cfg)
+		if err != nil {
+			return err
+		}
+		expt.WriteObjSweep(os.Stdout, pts)
 		fmt.Println()
 	}
 

@@ -34,6 +34,7 @@ import (
 	"vm1place/internal/expt"
 	"vm1place/internal/layout"
 	"vm1place/internal/lefdef"
+	"vm1place/internal/objective"
 	"vm1place/internal/proxy"
 	"vm1place/internal/route"
 	"vm1place/internal/sta"
@@ -52,6 +53,13 @@ func run() error {
 	n := flag.Int("n", 0, "override instance count (0: paper count)")
 	scale := flag.Float64("scale", 1.0, "scale factor on the paper instance count")
 	archStr := flag.String("arch", "closedm1", "cell architecture: closedm1|openm1")
+	objStr := flag.String("objective", "",
+		"geometry objective: "+strings.Join(objective.Names(), "|")+
+			" (default: the paper objective for -arch; overrides -arch)")
+	marginDBU := flag.Int64("margin", 0,
+		"netsep separation margin in DBU (0: the objective's 4·δ default)")
+	slackWeight := flag.Float64("slack-weight", 0,
+		"slackalpha criticality weight: critical nets get up to (1+w)× α (0: uniform)")
 	util := flag.Float64("util", 0.75, "placement utilization")
 	alpha := flag.Float64("alpha", -1, "alignment weight (negative: architecture default)")
 	seqStr := flag.String("seq", "", "U sequence 'bwUm:lx:ly,...' (default 20:4:1)")
@@ -110,6 +118,15 @@ func run() error {
 	if *archStr == "openm1" {
 		arch = tech.OpenM1
 	}
+	if *objStr != "" {
+		// Validate here so a typo is a clean error, not a panic deep in the
+		// flow; the objective dictates the pin architecture it scores.
+		o, err := objective.Lookup(*objStr)
+		if err != nil {
+			return fmt.Errorf("-objective: %w", err)
+		}
+		arch = o.Arch()
+	}
 
 	var seq core.Sequence
 	if *seqStr != "" {
@@ -121,16 +138,19 @@ func run() error {
 	}
 
 	cfg := expt.FlowConfig{
-		Arch:           arch,
-		Util:           *util,
-		Sequence:       seq,
-		Workers:        *workers,
-		SolverWorkers:  *solverWorkers,
-		Shards:         *shards,
-		Guided:         *guided,
-		GuidedColdFrac: *guidedCold,
-		GuidedShrink:   *guidedShrink,
-		GuidedBoostCap: *guidedBoost,
+		Arch:             arch,
+		Objective:        *objStr,
+		MarginDBU:        *marginDBU,
+		SlackAlphaWeight: *slackWeight,
+		Util:             *util,
+		Sequence:         seq,
+		Workers:          *workers,
+		SolverWorkers:    *solverWorkers,
+		Shards:           *shards,
+		Guided:           *guided,
+		GuidedColdFrac:   *guidedCold,
+		GuidedShrink:     *guidedShrink,
+		GuidedBoostCap:   *guidedBoost,
 	}
 	if *alpha >= 0 {
 		cfg.Alpha = *alpha
@@ -201,6 +221,21 @@ func runOnDEF(ctx context.Context, lefPath, defPath, outPath string, cfg expt.Fl
 	}
 
 	prm := core.DefaultParams(t, cfg.Arch)
+	var obj objective.GeomObjective
+	if cfg.Objective != "" {
+		o, err := objective.Lookup(cfg.Objective)
+		if err != nil {
+			return fmt.Errorf("-objective: %w", err)
+		}
+		obj = o
+		prm.Objective = o
+		prm.MarginDBU = cfg.MarginDBU
+		if cfg.SlackAlphaWeight > 0 {
+			staCfg := sta.DefaultConfig()
+			prm.NetAlpha = sta.CriticalityBetas(
+				sta.NetSlacks(p, staCfg, nil), staCfg.ClockPeriodNs, cfg.SlackAlphaWeight)
+		}
+	}
 	if cfg.AlphaSet {
 		prm.Alpha = cfg.Alpha
 	}
@@ -215,7 +250,11 @@ func runOnDEF(ctx context.Context, lefPath, defPath, outPath string, cfg expt.Fl
 		// uncalibrated (neutral per-region multipliers), which still ranks
 		// families by predicted congestion.
 		prm.Guided = true
-		prm.Proxy = proxy.New(p, proxy.DefaultConfig(t, cfg.Arch))
+		pcfg := proxy.DefaultConfig(t, cfg.Arch)
+		if obj != nil {
+			pcfg = proxy.DefaultConfigForObjective(t, obj)
+		}
+		prm.Proxy = proxy.New(p, pcfg)
 		prm.GuidedColdFrac = cfg.GuidedColdFrac
 		prm.GuidedShrink = cfg.GuidedShrink
 		prm.GuidedBoostCap = cfg.GuidedBoostCap

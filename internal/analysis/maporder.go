@@ -53,6 +53,9 @@ var deterministicPkgPrefixes = []string{
 	// sharded optimizer's bit-identity across shard counts requires the
 	// partition itself to be a pure function of its inputs.
 	"vm1place/internal/shard",
+	// Geometry objectives emit the MILP rows whose ordering steers simplex
+	// pivoting; any map-ordered iteration here breaks the golden flows.
+	"vm1place/internal/objective",
 }
 
 func isDeterministicPkg(path string) bool {

@@ -77,6 +77,11 @@ type Master struct {
 	Name       string
 	Arch       tech.Arch
 	WidthSites int
+	// HeightRows is the cell height in placement rows; 0 means 1. The
+	// row-uniform floorplan and window optimizer assume single-height
+	// cells, so Library.Validate rejects taller masters up front instead
+	// of silently producing an overlapping floorplan.
+	HeightRows int
 	Pins       []Pin
 
 	// Timing/power model: delay(ns) = Intrinsic + DriveRes * loadCap;
@@ -93,6 +98,19 @@ type Master struct {
 // WidthDBU returns the cell width in DBU for technology t.
 func (m *Master) WidthDBU(t *tech.Tech) int64 {
 	return int64(m.WidthSites) * t.SiteWidth
+}
+
+// heightRows returns the effective cell height in rows (>= 1).
+func (m *Master) heightRows() int {
+	if m.HeightRows <= 0 {
+		return 1
+	}
+	return m.HeightRows
+}
+
+// HeightDBU returns the cell height in DBU for technology t.
+func (m *Master) HeightDBU(t *tech.Tech) int64 {
+	return int64(m.heightRows()) * t.RowHeight
 }
 
 // Pin returns the named pin, or nil.
@@ -207,10 +225,20 @@ func (l *Library) MustMaster(name string) *Master {
 }
 
 // Validate checks the structural invariants the optimizer relies on.
+//
+// Heights are validated up front: the floorplanner assigns every instance
+// one row slot of pitch RowHeight, so a master taller than one row — or a
+// library mixing heights — would silently produce an overlapping floorplan
+// if it got past construction. NewLibrary and NewLibraryFromMasters wrap
+// any failure in ErrInvalidLibrary.
 func (l *Library) Validate() error {
 	for _, m := range l.Masters {
 		if m.WidthSites <= 0 {
 			return fmt.Errorf("cells: master %s has non-positive width", m.Name)
+		}
+		if hr := m.heightRows(); hr != 1 {
+			return fmt.Errorf("cells: master %s is %d rows tall; the row-uniform floorplan supports only single-height cells (mixed-height library)",
+				m.Name, hr)
 		}
 		w := m.WidthDBU(l.Tech)
 		nOut := 0
@@ -265,12 +293,18 @@ func (l *Library) Validate() error {
 }
 
 // NewLibraryFromMasters assembles a Library from externally constructed
-// masters (e.g. parsed from LEF) and builds the lookup index. The caller
-// is responsible for calling Validate if strict invariants are required.
-func NewLibraryFromMasters(t *tech.Tech, arch tech.Arch, masters []*Master) *Library {
+// masters (e.g. parsed from LEF), builds the lookup index and validates
+// the structural invariants up front. A failure — notably multi- or
+// mixed-row-height masters the row-uniform floorplan cannot place — is
+// reported as an error wrapping ErrInvalidLibrary rather than surfacing
+// later as a silently overlapping floorplan.
+func NewLibraryFromMasters(t *tech.Tech, arch tech.Arch, masters []*Master) (*Library, error) {
 	lib := &Library{Tech: t, Arch: arch, Masters: masters, byName: make(map[string]*Master)}
 	for _, m := range masters {
 		lib.byName[m.Name] = m
 	}
-	return lib
+	if err := lib.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidLibrary, err)
+	}
+	return lib, nil
 }

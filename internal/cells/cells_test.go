@@ -1,6 +1,8 @@
 package cells
 
 import (
+	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -208,5 +210,70 @@ func TestPinDirString(t *testing.T) {
 	}
 	if PinDir(9).String() != "PinDir(9)" {
 		t.Error("unknown PinDir string broken")
+	}
+}
+
+func TestMixedHeightLibraryRejected(t *testing.T) {
+	tc := tech.Default()
+	base := MustNewLibrary(tc, tech.ClosedM1)
+	masters := make([]*Master, len(base.Masters))
+	copy(masters, base.Masters)
+	tall := *base.MustMaster("DFF_X1")
+	tall.Name = "DFF_X1_2H"
+	tall.HeightRows = 2
+	masters = append(masters, &tall)
+	lib, err := NewLibraryFromMasters(tc, tech.ClosedM1, masters)
+	if err == nil {
+		t.Fatal("mixed-height library accepted")
+	}
+	if lib != nil {
+		t.Error("library returned alongside error")
+	}
+	if !errors.Is(err, ErrInvalidLibrary) {
+		t.Errorf("error %v does not wrap ErrInvalidLibrary", err)
+	}
+	if !strings.Contains(err.Error(), "DFF_X1_2H") {
+		t.Errorf("error %v does not name the offending master", err)
+	}
+}
+
+func TestMasterHeightDefaultsToOneRow(t *testing.T) {
+	tc := tech.Default()
+	m := Master{Name: "X", WidthSites: 2}
+	if got := m.HeightDBU(tc); got != tc.RowHeight {
+		t.Errorf("zero HeightRows HeightDBU = %d, want one row (%d)", got, tc.RowHeight)
+	}
+	m.HeightRows = 3
+	if got := m.HeightDBU(tc); got != 3*tc.RowHeight {
+		t.Errorf("HeightRows=3 HeightDBU = %d, want %d", got, 3*tc.RowHeight)
+	}
+}
+
+func TestTrackVariantLibrariesValidate(t *testing.T) {
+	for _, tc := range []*tech.Tech{tech.Default6Track(), tech.Default9Track()} {
+		if err := tc.Validate(); err != nil {
+			t.Fatalf("track-variant tech invalid: %v", err)
+		}
+		for _, arch := range []tech.Arch{tech.ClosedM1, tech.OpenM1} {
+			lib, err := NewLibrary(tc, arch)
+			if err != nil {
+				t.Errorf("RowHeight=%d %s library: %v", tc.RowHeight, arch, err)
+				continue
+			}
+			// All pin metal must stay inside the shorter/taller row.
+			for _, m := range lib.Masters {
+				for _, p := range m.Pins {
+					if !p.IsSignal() {
+						continue
+					}
+					for _, s := range p.Shapes {
+						if s.Rect.YLo < 0 || s.Rect.YHi > tc.RowHeight {
+							t.Errorf("RowHeight=%d %s %s/%s pin metal y [%d,%d] outside row",
+								tc.RowHeight, arch, m.Name, p.Name, s.Rect.YLo, s.Rect.YHi)
+						}
+					}
+				}
+			}
+		}
 	}
 }

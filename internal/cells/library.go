@@ -146,9 +146,21 @@ func closedPinShape(t *tech.Tech, k int) Shape {
 	}
 }
 
+// refRowHeight is the 7.5-track row height the pin track template below is
+// drawn for; scalePinY rescales the template to other row heights (6-track,
+// 9-track), an identity at the default 250 so existing libraries are
+// bit-identical.
+const refRowHeight = 250
+
+// scalePinY maps a template y track center onto technology t's row.
+func scalePinY(t *tech.Tech, y int64) int64 {
+	return y * t.RowHeight / refRowHeight
+}
+
 // openPinShape returns a horizontal M0 pin starting near site track k.
 // Output pins are longer and sit on a dedicated upper M0 track, modelling
-// the larger output metal of real OpenM1 cells.
+// the larger output metal of real OpenM1 cells. Track y centers are scaled
+// from the 7.5-track template to the technology's row height.
 func openPinShape(t *tech.Tech, w int64, k int, output bool) Shape {
 	if output {
 		xhi := w - 10
@@ -156,7 +168,8 @@ func openPinShape(t *tech.Tech, w int64, k int, output bool) Shape {
 		if xlo < 10 {
 			xlo = 10
 		}
-		return Shape{Layer: tech.M0, Rect: geom.Rect{XLo: xlo, YLo: 190, XHi: xhi, YHi: 210}}
+		y := scalePinY(t, 200)
+		return Shape{Layer: tech.M0, Rect: geom.Rect{XLo: xlo, YLo: y - 10, XHi: xhi, YHi: y + 10}}
 	}
 	xlo := int64(k)*t.SiteWidth + 10
 	xhi := xlo + 140
@@ -164,6 +177,6 @@ func openPinShape(t *tech.Tech, w int64, k int, output bool) Shape {
 		xhi = w - 10
 	}
 	yTracks := []int64{60, 110, 160}
-	y := yTracks[k%len(yTracks)]
+	y := scalePinY(t, yTracks[k%len(yTracks)])
 	return Shape{Layer: tech.M0, Rect: geom.Rect{XLo: xlo, YLo: y - 10, XHi: xhi, YHi: y + 10}}
 }

@@ -20,16 +20,33 @@ import (
 	"vm1place/internal/geom"
 	"vm1place/internal/layout"
 	"vm1place/internal/netlist"
+	"vm1place/internal/objective"
 	"vm1place/internal/tech"
 )
 
 // Params configures the optimizer.
 type Params struct {
-	// Arch selects the MILP formulation (ClosedM1 alignment or OpenM1
-	// overlap). Conventional designs have nothing to optimize.
+	// Arch selects the cell architecture. When Objective is nil it also
+	// selects the MILP formulation via objective.ForArch (ClosedM1
+	// alignment or OpenM1 overlap); Conventional designs have nothing to
+	// optimize.
 	Arch tech.Arch
+	// Objective, when non-nil, overrides the geometry objective: the
+	// per-pair reward terms, per-net α weights and MILP rows the window
+	// subproblems emit (internal/objective). nil keeps the paper
+	// formulation selected by Arch. Resolve names with objective.Lookup.
+	Objective objective.GeomObjective
 	// Alpha weighs one alignment/overlap against HPWL DBU (the paper's α).
 	Alpha float64
+	// NetAlpha, when non-nil, holds per-net multipliers on Alpha (indexed
+	// like Design.Nets) consumed by per-net-weighted objectives such as
+	// "slackalpha" (typically sta.CriticalityBetas over sta.NetSlacks).
+	// Uniform objectives ignore it. Entries <= 0 or beyond the slice
+	// bounds mean 1.
+	NetAlpha []float64
+	// MarginDBU is the "netsep" objective's separation margin; <= 0
+	// selects that objective's default (4·δ).
+	MarginDBU int64
 	// Beta weighs net HPWL (the paper's βn, uniform; the paper uses 1).
 	Beta float64
 	// NetBeta, when non-nil, holds per-net multipliers on Beta (indexed
@@ -273,15 +290,30 @@ func netTerminals(p *layout.Placement, ni int) []pinRef {
 	return appendNetTerminals(make([]pinRef, 0, p.Design.Nets[ni].NumConns()), p, ni)
 }
 
+// pinGeom converts a cached terminal to the objective package's view of
+// its x/y geometry.
+func pinGeom(r pinRef) objective.PinGeom {
+	return objective.PinGeom{
+		Row:     r.row,
+		AlignX:  r.alignX,
+		ExtLo:   r.ext.Lo,
+		ExtHi:   r.ext.Hi,
+		CenterX: (r.ext.Lo + r.ext.Hi) / 2,
+	}
+}
+
 // pairStats counts the dM1-eligible terminal pairs of one net and their
 // overlap surplus (terms on the same instance never pair).
 func pairStats(prm Params, terms []pinRef) (align int, over int64) {
+	o := prm.obj()
+	w := prm.weights()
+	gamma := prm.alignGamma()
 	for i := 0; i < len(terms); i++ {
 		for j := i + 1; j < len(terms); j++ {
 			if terms[i].inst == terms[j].inst {
 				continue
 			}
-			if ok, ov := pairEnablesDM1(prm, terms[i], terms[j]); ok {
+			if ok, ov := pairEnablesDM1(o, w, gamma, terms[i], terms[j]); ok {
 				align++
 				over += ov
 			}
@@ -291,27 +323,18 @@ func pairStats(prm Params, terms []pinRef) (align int, over int64) {
 }
 
 // pairEnablesDM1 reports whether two terminals enable a direct vertical M1
-// route under the current placement, plus the overlap surplus (OpenM1).
-func pairEnablesDM1(prm Params, a, b pinRef) (bool, int64) {
+// route (or, generally, realize the objective's pair predicate) under the
+// current placement, plus the overlap surplus. The row-window gate is
+// shared by every objective; the x-geometry test is the objective's.
+func pairEnablesDM1(o objective.GeomObjective, w objective.Weights, gamma int, a, b pinRef) (bool, int64) {
 	dr := a.row - b.row
 	if dr < 0 {
 		dr = -dr
 	}
-	if dr > prm.alignGamma() {
+	if dr > gamma {
 		return false, 0
 	}
-	switch prm.Arch {
-	case tech.ClosedM1:
-		return a.alignX == b.alignX, 0
-	case tech.OpenM1:
-		over := a.ext.OverlapLen(b.ext)
-		if over >= prm.DeltaDBU {
-			return true, over - prm.DeltaDBU
-		}
-		return false, 0
-	default:
-		return false, 0
-	}
+	return o.PairEval(w, pinGeom(a), pinGeom(b))
 }
 
 // betaOf returns the effective βn for a net.
@@ -328,18 +351,37 @@ func (prm Params) alignGamma() int {
 	if prm.AlignGammaRows > 0 {
 		return prm.AlignGammaRows
 	}
-	if prm.Arch == tech.OpenM1 {
-		return prm.GammaRows
+	return prm.obj().AlignGammaDefault(prm.GammaRows)
+}
+
+// obj resolves the effective geometry objective: the explicit Objective
+// when set, else the paper formulation for the architecture.
+func (prm Params) obj() objective.GeomObjective {
+	if prm.Objective != nil {
+		return prm.Objective
 	}
-	return 1
+	return objective.ForArch(prm.Arch)
+}
+
+// weights packs the objective-facing scalar knobs.
+func (prm Params) weights() objective.Weights {
+	return objective.Weights{
+		Alpha:     prm.Alpha,
+		Epsilon:   prm.Epsilon,
+		DeltaDBU:  prm.DeltaDBU,
+		MarginDBU: prm.MarginDBU,
+		NetAlpha:  prm.NetAlpha,
+	}
 }
 
 // CalculateObj evaluates the global objective of a placement (Algorithm 2's
 // CalculateObj).
 func CalculateObj(p *layout.Placement, prm Params) Objective {
 	var obj Objective
+	o := prm.obj()
+	w := prm.weights()
 	obj.HPWL = p.TotalHPWL()
-	var weighted float64
+	var weighted, reward float64
 	var buf []pinRef
 	for ni := range p.Design.Nets {
 		if p.Design.Nets[ni].IsClock {
@@ -350,8 +392,8 @@ func CalculateObj(p *layout.Placement, prm Params) Objective {
 		align, over := pairStats(prm, buf)
 		obj.Alignments += align
 		obj.OverlapSum += over
+		reward += o.PairAlpha(w, ni) * float64(align)
 	}
-	obj.Value = weighted - prm.Alpha*float64(obj.Alignments) -
-		prm.Epsilon*float64(obj.OverlapSum)
+	obj.Value = o.Value(w, weighted, obj.Alignments, obj.OverlapSum, reward)
 	return obj
 }

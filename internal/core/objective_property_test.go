@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"vm1place/internal/layout"
+	"vm1place/internal/objective"
+)
+
+// objectiveParams builds Params for a registered objective on a placed
+// design: the objective resolved into Params.Objective, plus synthetic
+// per-net α multipliers so net-weighted objectives ("slackalpha") exercise
+// their non-uniform path (entries deterministic in the net index, some
+// <= 0 to cover the treated-as-1 fallback).
+func objectiveParams(p *layout.Placement, o objective.GeomObjective) Params {
+	prm := DefaultParams(p.Tech, o.Arch())
+	prm.Objective = o
+	netAlpha := make([]float64, len(p.Design.Nets))
+	for ni := range netAlpha {
+		switch ni % 4 {
+		case 0:
+			netAlpha[ni] = 1 + float64(ni%7)/2 // 1 .. 4
+		case 1:
+			netAlpha[ni] = 0 // treated as 1
+		case 2:
+			netAlpha[ni] = -1 // treated as 1
+		default:
+			netAlpha[ni] = 0.5
+		}
+	}
+	prm.NetAlpha = netAlpha
+	return prm
+}
+
+// TestObjTrackerMatchesRescanAllObjectives is the registry-wide exactness
+// property: for EVERY registered geometry objective, the incremental
+// ObjTracker must agree with a fresh CalculateObj rescan — integer fields
+// identical and Value bit-identical — through random move batches and a
+// real DistOpt pass. New objectives are covered automatically the moment
+// they register.
+func TestObjTrackerMatchesRescanAllObjectives(t *testing.T) {
+	names := objective.Names()
+	if len(names) < 4 {
+		t.Fatalf("registry holds %d objectives (%v), want the two paper objectives plus netsep and slackalpha", len(names), names)
+	}
+	for _, name := range names {
+		o, err := objective.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			p := genPlaced(t, o.Arch(), 250, 41, 0.72)
+			prm := objectiveParams(p, o)
+			tr := NewObjTracker(p, prm)
+			requireObjEqual(t, name+"/initial", tr)
+
+			// Random (not necessarily legal) relocations: the objective
+			// identity must hold on any placement state.
+			rng := rand.New(rand.NewSource(7))
+			for batch := 0; batch < 12; batch++ {
+				n := 1 + rng.Intn(6)
+				moves := make([]Move, 0, n)
+				for k := 0; k < n; k++ {
+					i := rng.Intn(len(p.Design.Insts))
+					wi := p.Design.Insts[i].Master.WidthSites
+					moves = append(moves, Move{
+						Inst: i,
+						Site: rng.Intn(p.NumSites - wi + 1),
+						Row:  rng.Intn(p.NumRows),
+						Flip: rng.Intn(2) == 0,
+					})
+				}
+				tr.ApplyMoves(moves)
+				requireObjEqual(t, name+"/random", tr)
+			}
+
+			// One real DistOpt pass on a fresh (legal) placement: window
+			// MILPs must emit solvable models for the objective, the pass
+			// must preserve legality, and the tracked objective must stay
+			// exact.
+			p2 := genPlaced(t, o.Arch(), 250, 43, 0.72)
+			prm2 := objectiveParams(p2, o)
+			prm2.MaxNodes = 40
+			prm2.TimeLimit = 100 * time.Millisecond
+			tr2 := NewObjTracker(p2, prm2)
+			ps := ParamSet{BW: 2000, BH: 2000, LX: 3, LY: 1}
+			pool := newSolverPool(workersOf(prm2))
+			g := makeGrid(p2, ps, 0, 0)
+			distPass(context.Background(), tr2, ps, g, pool, true, false)
+			requireObjEqual(t, name+"/distpass", tr2)
+			if err := p2.CheckLegal(); err != nil {
+				t.Fatalf("%s: illegal after tracked pass: %v", name, err)
+			}
+		})
+	}
+}

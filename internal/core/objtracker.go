@@ -31,11 +31,12 @@ type ObjTracker struct {
 	p   *layout.Placement
 	prm Params
 
-	netHPWL  []int64   // per-net HPWL, zero for clock nets (as TotalHPWL)
-	netWght  []float64 // per-net βn·HPWL, zero for clock nets
-	netAlign []int     // per-net dM1-eligible pair count (non-clock)
-	netOver  []int64   // per-net overlap surplus (OpenM1, non-clock)
-	instNets [][]int   // inst -> distinct incident net indices
+	netHPWL   []int64   // per-net HPWL, zero for clock nets (as TotalHPWL)
+	netWght   []float64 // per-net βn·HPWL, zero for clock nets
+	netAlign  []int     // per-net dM1-eligible pair count (non-clock)
+	netOver   []int64   // per-net overlap surplus (OpenM1, non-clock)
+	netReward []float64 // per-net PairAlpha·align (non-clock)
+	instNets  [][]int   // inst -> distinct incident net indices
 
 	// epoch-marked dedup of nets touched by one ApplyMoves batch.
 	mark    []int
@@ -66,14 +67,15 @@ func NewObjTracker(p *layout.Placement, prm Params) *ObjTracker {
 	nNets := len(p.Design.Nets)
 	nInsts := len(p.Design.Insts)
 	t := &ObjTracker{
-		p:        p,
-		prm:      prm,
-		netHPWL:  make([]int64, nNets),
-		netWght:  make([]float64, nNets),
-		netAlign: make([]int, nNets),
-		netOver:  make([]int64, nNets),
-		instNets: make([][]int, nInsts),
-		mark:     make([]int, nNets),
+		p:         p,
+		prm:       prm,
+		netHPWL:   make([]int64, nNets),
+		netWght:   make([]float64, nNets),
+		netAlign:  make([]int, nNets),
+		netOver:   make([]int64, nNets),
+		netReward: make([]float64, nNets),
+		instNets:  make([][]int, nInsts),
+		mark:      make([]int, nNets),
 	}
 
 	// inst→nets index over non-clock nets (clock nets never contribute to
@@ -131,6 +133,7 @@ func (t *ObjTracker) refreshNet(ni int) {
 	align, over := pairStats(prm, terms)
 	t.netAlign[ni] = align
 	t.netOver[ni] = over
+	t.netReward[ni] = prm.obj().PairAlpha(prm.weights(), ni) * float64(align)
 }
 
 // ApplyMoves applies a batch of accepted moves to the placement and
@@ -165,20 +168,21 @@ func (t *ObjTracker) ApplyMoves(moves []Move) Objective {
 	return t.Objective()
 }
 
-// Objective assembles the tracked global objective. HPWL and the weighted
-// sum are reduced in net order so the result is bit-identical to a fresh
-// CalculateObj of the same placement.
+// Objective assembles the tracked global objective. HPWL, the weighted sum
+// and the pair reward are reduced in net order so the result is
+// bit-identical to a fresh CalculateObj of the same placement.
 func (t *ObjTracker) Objective() Objective {
 	var obj Objective
-	var weighted float64
+	var weighted, reward float64
 	for ni := range t.netHPWL {
 		obj.HPWL += t.netHPWL[ni]
 		weighted += t.netWght[ni]
+		reward += t.netReward[ni]
 	}
 	obj.Alignments = t.align
 	obj.OverlapSum = t.over
-	obj.Value = weighted - t.prm.Alpha*float64(obj.Alignments) -
-		t.prm.Epsilon*float64(obj.OverlapSum)
+	obj.Value = t.prm.obj().Value(t.prm.weights(), weighted,
+		obj.Alignments, obj.OverlapSum, reward)
 	return obj
 }
 

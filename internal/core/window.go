@@ -5,7 +5,7 @@ import (
 	"vm1place/internal/geom"
 	"vm1place/internal/layout"
 	"vm1place/internal/netlist"
-	"vm1place/internal/tech"
+	"vm1place/internal/objective"
 )
 
 // cand is one SCP candidate for a movable cell: a location and orientation
@@ -33,6 +33,11 @@ type cand struct {
 type window struct {
 	p   *layout.Placement // read-only snapshot during parallel solves
 	prm Params
+	// obj/wts are the resolved geometry objective and its weight view,
+	// hoisted once per build so pair tests and model assembly never
+	// re-resolve them on the hot path.
+	obj objective.GeomObjective
+	wts objective.Weights
 
 	s0, s1 int // site range [s0, s1)
 	r0, r1 int // row range [r0, r1)
@@ -94,10 +99,14 @@ type winNet struct {
 	fxMin, fxMax, fyMin, fyMax int64
 }
 
-// winPair is an eligible pin pair (p, q) of one net.
+// winPair is an eligible pin pair (p, q) of one net. alpha caches the
+// objective's PairAlpha for the net (== Params.Alpha bitwise for uniform
+// objectives), so the MILP objective coefficient and the greedy/objective
+// arithmetic agree without per-evaluation lookups.
 type winPair struct {
-	net  *winNet
-	p, q winPin
+	net   *winNet
+	p, q  winPin
+	alpha float64
 }
 
 // occKey indexes window occupancy cells.
@@ -183,6 +192,8 @@ func (w *window) buildGeom(p *layout.Placement, prm Params, rect geom.Rect, ps P
 	w.reset()
 	t := p.Tech
 	w.p, w.prm = p, prm
+	w.obj = prm.obj()
+	w.wts = prm.weights()
 	w.s0 = int(rect.XLo / t.SiteWidth)
 	w.s1 = int(rect.XHi / t.SiteWidth)
 	w.r0 = int(rect.YLo / t.RowHeight)
@@ -457,7 +468,7 @@ func (w *window) newPair(wn *winNet, p, q winPin) *winPair {
 		w.pairSlab = append(w.pairSlab, winPair{})
 	}
 	pr := &w.pairSlab[len(w.pairSlab)-1]
-	*pr = winPair{net: wn, p: p, q: q}
+	*pr = winPair{net: wn, p: p, q: q, alpha: w.obj.PairAlpha(w.wts, wn.ni)}
 	return pr
 }
 
@@ -562,9 +573,10 @@ func (w *window) buildPairs(wn *winNet) {
 }
 
 // pairFeasible conservatively tests whether any candidate combination can
-// realize the pair's alignment/overlap.
+// realize the pair under the window's objective.
 func (w *window) pairFeasible(a, b winPin) bool {
-	// Row distance must be able to reach <= gamma.
+	// Row distance must be able to reach <= gamma (shared by every
+	// objective); the x-geometry test is the objective's.
 	aLo, aHi := minMaxInt(a.rowOf)
 	bLo, bHi := minMaxInt(b.rowOf)
 	dist := 0
@@ -576,19 +588,25 @@ func (w *window) pairFeasible(a, b winPin) bool {
 	if dist > w.prm.alignGamma() {
 		return false
 	}
-	if w.prm.Arch == tech.OpenM1 {
-		loA, _ := minMax64(a.extLo)
-		_, hiA := minMax64(a.extHi)
-		loB, _ := minMax64(b.extLo)
-		_, hiB := minMax64(b.extHi)
-		// Best-case overlap upper bound.
-		best := min64(hiA, hiB) - max64(loA, loB)
-		return best >= w.prm.DeltaDBU
+	return w.obj.PairFeasible(w.wts, pinView(a, nil), pinView(b, nil))
+}
+
+// pinView adapts a winPin to the objective package's per-candidate view.
+// lambda supplies the MILP λ variable ids per movable cell (model assembly);
+// pass nil outside the MILP, where only the geometry arrays are read.
+func pinView(p winPin, lambda [][]int) objective.PinView {
+	v := objective.PinView{
+		CenterX: p.centerX,
+		CenterY: p.centerY,
+		AlignX:  p.alignX,
+		ExtLo:   p.extLo,
+		ExtHi:   p.extHi,
+		RowOf:   p.rowOf,
 	}
-	// ClosedM1: the achievable alignX sets must intersect as ranges.
-	loA, hiA := minMax64(a.alignX)
-	loB, hiB := minMax64(b.alignX)
-	return loA <= hiB && loB <= hiA
+	if p.cell >= 0 && lambda != nil {
+		v.Lambda = lambda[p.cell]
+	}
+	return v
 }
 
 // grown returns s resized to length n, reusing its backing array when

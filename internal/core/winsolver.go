@@ -20,7 +20,7 @@ type winSolver struct {
 	mm    *milp.Model
 
 	// buildModel scratch.
-	lambda   [][]int   // λ variable ids per cell/candidate (carved from lamSlab)
+	lambda   [][]int // λ variable ids per cell/candidate (carved from lamSlab)
 	lamSlab  []int
 	tbuf     []lp.Term // row-assembly buffer (AddRow copies terms)
 	occTerms [][]lp.Term

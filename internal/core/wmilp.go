@@ -5,11 +5,11 @@ import (
 
 	"vm1place/internal/lp"
 	"vm1place/internal/milp"
-	"vm1place/internal/tech"
+	"vm1place/internal/objective"
 )
 
 // objective evaluates the window-local objective of an assignment
-// (candidate index per movable cell): Σ β·wn − α·#pairs − ε·Σ overlap.
+// (candidate index per movable cell): Σ β·wn − Σ αn·#pairs − ε·Σ surplus.
 // It is exactly the MILP objective restricted to this window's nets and
 // (pruned) pairs, so MILP incumbents and greedy moves are comparable.
 func (w *window) objective(assign []int) float64 {
@@ -23,7 +23,7 @@ func (w *window) objective(assign []int) float64 {
 	for _, pr := range w.pairs {
 		hit, over := w.pairState(pr, assign)
 		if hit {
-			total -= w.prm.Alpha
+			total -= pr.alpha
 			total -= w.prm.Epsilon * float64(over)
 		}
 	}
@@ -76,7 +76,8 @@ func pinAt(p winPin, assign []int) int {
 	return assign[p.cell]
 }
 
-// pairState evaluates a pair under an assignment.
+// pairState evaluates a pair under an assignment: the shared |Δrow| gate,
+// then the objective's exact x-geometry test.
 func (w *window) pairState(pr *winPair, assign []int) (bool, int64) {
 	kp := pinAt(pr.p, assign)
 	kq := pinAt(pr.q, assign)
@@ -87,15 +88,18 @@ func (w *window) pairState(pr *winPair, assign []int) (bool, int64) {
 	if dr > w.prm.alignGamma() {
 		return false, 0
 	}
-	if w.prm.Arch == tech.OpenM1 {
-		lo := max64(pr.p.extLo[kp], pr.q.extLo[kq])
-		hi := min64(pr.p.extHi[kp], pr.q.extHi[kq])
-		if hi-lo >= w.prm.DeltaDBU {
-			return true, hi - lo - w.prm.DeltaDBU
-		}
-		return false, 0
+	return w.obj.PairEval(w.wts, winGeom(pr.p, kp), winGeom(pr.q, kq))
+}
+
+// winGeom is the scalar geometry of a window pin under candidate k.
+func winGeom(p winPin, k int) objective.PinGeom {
+	return objective.PinGeom{
+		Row:     p.rowOf[k],
+		AlignX:  p.alignX[k],
+		ExtLo:   p.extLo[k],
+		ExtHi:   p.extHi[k],
+		CenterX: p.centerX[k],
 	}
-	return pr.p.alignX[kp] == pr.q.alignX[kq], 0
 }
 
 // feasibleAssign reports whether an assignment is overlap-free within the
@@ -265,95 +269,17 @@ func (w *window) buildModel() (*lp.Model, *milp.Model, [][]int, float64) {
 		}
 	}
 
-	// Pair variables and rows. Each big-G constant is the smallest valid
-	// bound computed from the pair's candidate geometry, which keeps the
-	// LP relaxation tight (a global big-G lets the relaxed d float to ~1
-	// for free and cripples branch-and-bound pruning).
+	// Pair variables and rows, delegated to the objective: the caller adds
+	// the binary reward variable (objective coefficient -αn) and the
+	// objective emits its linearization rows. Emission order per pair is
+	// fixed by the implementation; pair order is the deterministic
+	// buildPairs order.
+	em := objective.Emit{M: m, MM: mm, GammaH: gammaH}
 	for _, pr := range w.pairs {
-		d := m.AddVar(0, 1, -w.prm.Alpha, "d")
+		d := m.AddVar(0, 1, -pr.alpha, "d")
 		mm.MarkInt(d)
-		switch w.prm.Arch {
-		case tech.ClosedM1:
-			// Constraint (4): d=1 forces equal x and |Δy| <= γH.
-			loP, hiP := minMax64(pr.p.alignX)
-			loQ, hiQ := minMax64(pr.q.alignX)
-			gx := float64(max64(hiP-loQ, hiQ-loP)) + 1
-			loPy, hiPy := minMax64(pr.p.centerY)
-			loQy, hiQy := minMax64(pr.q.centerY)
-			gy := float64(max64(hiPy-loQy, hiQy-loPy)) + 1
-			var cp, cq float64
-			tb = tb[:0]
-			tb, cp = appendPin(tb, pr.p, pr.p.alignX, 1)
-			tb, cq = appendPin(tb, pr.q, pr.q.alignX, -1)
-			n := len(tb)
-			tb = append(tb, lp.Term{Var: d, Coef: gx})
-			m.AddRow(lp.LE, gx-cp+cq, tb...)
-			tb = tb[:n]
-			tb = append(tb, lp.Term{Var: d, Coef: -gx})
-			m.AddRow(lp.GE, -gx-cp+cq, tb...)
-			var cpy, cqy float64
-			tb = tb[:0]
-			tb, cpy = appendPin(tb, pr.p, pr.p.centerY, 1)
-			tb, cqy = appendPin(tb, pr.q, pr.q.centerY, -1)
-			n = len(tb)
-			tb = append(tb, lp.Term{Var: d, Coef: gy})
-			m.AddRow(lp.LE, gy+gammaH-cpy+cqy, tb...)
-			tb = tb[:n]
-			tb = append(tb, lp.Term{Var: d, Coef: -gy})
-			m.AddRow(lp.GE, -gy-gammaH-cpy+cqy, tb...)
-		case tech.OpenM1:
-			// Constraints (11)-(14).
-			loPl, _ := minMax64(pr.p.extLo)
-			loQl, _ := minMax64(pr.q.extLo)
-			_, hiPh := minMax64(pr.p.extHi)
-			_, hiQh := minMax64(pr.q.extHi)
-			aLo := float64(min64(loPl, loQl))
-			bHi := float64(max64(hiPh, hiQh))
-			spanX := bHi - aLo
-			go1 := spanX + float64(w.prm.DeltaDBU) + 1 // bounds o <= b-a-δ+G(1-d)
-			loPy, hiPy := minMax64(pr.p.centerY)
-			loQy, hiQy := minMax64(pr.q.centerY)
-			gy := float64(max64(hiPy-loQy, hiQy-loPy)) + 1
-			a := m.AddVar(aLo, bHi, 0, "a")
-			b := m.AddVar(aLo, bHi, 0, "b")
-			o := m.AddVar(0, spanX, -w.prm.Epsilon, "o")
-			v := m.AddVar(0, 1, 0, "v")
-			mm.MarkInt(v)
-			var c float64
-			tb = tb[:0]
-			tb, c = appendPin(tb, pr.p, pr.p.extLo, -1)
-			tb = append(tb, lp.Term{Var: a, Coef: 1})
-			m.AddRow(lp.GE, c, tb...)
-			tb = tb[:0]
-			tb, c = appendPin(tb, pr.q, pr.q.extLo, -1)
-			tb = append(tb, lp.Term{Var: a, Coef: 1})
-			m.AddRow(lp.GE, c, tb...)
-			tb = tb[:0]
-			tb, c = appendPin(tb, pr.p, pr.p.extHi, -1)
-			tb = append(tb, lp.Term{Var: b, Coef: 1})
-			m.AddRow(lp.LE, c, tb...)
-			tb = tb[:0]
-			tb, c = appendPin(tb, pr.q, pr.q.extHi, -1)
-			tb = append(tb, lp.Term{Var: b, Coef: 1})
-			m.AddRow(lp.LE, c, tb...)
-			var cpy, cqy float64
-			tb = tb[:0]
-			tb, cpy = appendPin(tb, pr.p, pr.p.centerY, 1)
-			tb, cqy = appendPin(tb, pr.q, pr.q.centerY, -1)
-			n := len(tb)
-			tb = append(tb, lp.Term{Var: v, Coef: -gy})
-			m.AddRow(lp.LE, gammaH-cpy+cqy, tb...)
-			tb = tb[:n]
-			tb = append(tb, lp.Term{Var: v, Coef: gy})
-			m.AddRow(lp.GE, -gammaH-cpy+cqy, tb...)
-			// (13): o <= b - a - δ + G(1-d); o <= G·d.
-			m.AddRow(lp.LE, go1-float64(w.prm.DeltaDBU),
-				lp.Term{Var: o, Coef: 1}, lp.Term{Var: b, Coef: -1},
-				lp.Term{Var: a, Coef: 1}, lp.Term{Var: d, Coef: go1})
-			m.AddRow(lp.LE, 0, lp.Term{Var: o, Coef: 1}, lp.Term{Var: d, Coef: -spanX})
-			// (14): d + v <= 1.
-			m.AddRow(lp.LE, 1, lp.Term{Var: d, Coef: 1}, lp.Term{Var: v, Coef: 1})
-		}
+		tb = w.obj.EmitPair(em, w.wts, d,
+			pinView(pr.p, lambda), pinView(pr.q, lambda), tb)
 	}
 	sv.tbuf = tb
 
@@ -576,7 +502,7 @@ func (w *window) solveGreedy() []int {
 		}
 		for _, pr := range pairsOf[ci] {
 			if hit, over := w.pairState(pr, assign); hit {
-				v -= w.prm.Alpha + w.prm.Epsilon*float64(over)
+				v -= pr.alpha + w.prm.Epsilon*float64(over)
 			}
 		}
 		return v

@@ -29,6 +29,7 @@ import (
 	"vm1place/internal/flow"
 	"vm1place/internal/layout"
 	"vm1place/internal/netlist"
+	"vm1place/internal/objective"
 	"vm1place/internal/place"
 	"vm1place/internal/proxy"
 	"vm1place/internal/route"
@@ -89,6 +90,25 @@ func ScaledDesigns(scale float64) []DesignSpec {
 // FlowConfig drives one full flow run.
 type FlowConfig struct {
 	Arch tech.Arch
+	// Objective selects a registered geometry objective by name
+	// (internal/objective: "closedm1", "openm1", "netsep", "slackalpha",
+	// ...). Empty keeps the paper formulation implied by Arch. When set,
+	// Arch is derived from the objective's cell architecture, so callers
+	// need not keep the two consistent.
+	Objective string
+	// SlackAlphaWeight, when > 0, derives per-net α multipliers from STA
+	// slack (sta.CriticalityBetas over sta.NetSlacks, computed on the
+	// placed design before optimization) and passes them to the optimizer
+	// as core.Params.NetAlpha. Per-net-weighted objectives ("slackalpha")
+	// consume them; uniform objectives ignore them.
+	SlackAlphaWeight float64
+	// MarginDBU passes through to core.Params.MarginDBU: the "netsep"
+	// objective's separation margin (<= 0 keeps that objective's 4·δ
+	// default).
+	MarginDBU int64
+	// Tech overrides the technology (nil: tech.Default()). The track-count
+	// sweep runs the tech.Default6Track/Default9Track variants through it.
+	Tech *tech.Tech
 	Util float64
 	// Alpha overrides the default α when > 0 (or exactly when AlphaSet).
 	Alpha    float64
@@ -238,9 +258,15 @@ func snapshot(ctx context.Context, p *layout.Placement, arch tech.Arch, workers 
 	}, elapsed, nil
 }
 
-// BuildPlaced generates, floorplans, places and legalizes a design.
+// BuildPlaced generates, floorplans, places and legalizes a design on the
+// default technology.
 func BuildPlaced(spec DesignSpec, arch tech.Arch, util float64) (*layout.Placement, error) {
-	t := tech.Default()
+	return BuildPlacedWith(spec, tech.Default(), arch, util)
+}
+
+// BuildPlacedWith is BuildPlaced on an explicit technology (track-count
+// variants).
+func BuildPlacedWith(spec DesignSpec, t *tech.Tech, arch tech.Arch, util float64) (*layout.Placement, error) {
 	lib, err := cells.NewLibrary(t, arch)
 	if err != nil {
 		return nil, fmt.Errorf("expt: build %s: %w", spec.Name, err)
@@ -281,6 +307,22 @@ func runFlow(ctx context.Context, spec DesignSpec, cfg FlowConfig, opt optimizer
 	if seq == nil {
 		seq = DefaultSequence()
 	}
+	// Resolve the objective before any stage closure captures cfg: a named
+	// objective fixes the cell architecture every stage (library synthesis,
+	// routing capacity model, proxy config) must agree on.
+	var obj objective.GeomObjective
+	if cfg.Objective != "" {
+		o, err := objective.Lookup(cfg.Objective)
+		if err != nil {
+			return FlowResult{}, fmt.Errorf("expt: flow %s: %w", spec.Name, err)
+		}
+		obj = o
+		cfg.Arch = o.Arch()
+	}
+	bt := cfg.Tech
+	if bt == nil {
+		bt = tech.Default()
+	}
 
 	res := FlowResult{Design: spec.Name, Arch: cfg.Arch, Util: cfg.Util}
 	var prm core.Params
@@ -288,13 +330,20 @@ func runFlow(ctx context.Context, spec DesignSpec, cfg FlowConfig, opt optimizer
 
 	pl := flow.New(
 		flow.Func("build", func(ctx context.Context, st *flow.State) error {
-			p, err := BuildPlaced(spec, cfg.Arch, cfg.Util)
+			p, err := BuildPlacedWith(spec, bt, cfg.Arch, cfg.Util)
 			if err != nil {
 				return err
 			}
 			st.Placement = p
 			res.NumInsts = len(p.Design.Insts)
 			prm = cfg.params(p.Tech)
+			prm.Objective = obj
+			prm.MarginDBU = cfg.MarginDBU
+			if cfg.SlackAlphaWeight > 0 {
+				staCfg := staDefault()
+				prm.NetAlpha = staCriticalityBetas(
+					staNetSlacks(p, staCfg), staCfg.ClockPeriodNs, cfg.SlackAlphaWeight)
+			}
 			if timingAware {
 				staCfg := staDefault()
 				prm.NetBeta = staCriticalityBetas(
@@ -305,7 +354,11 @@ func runFlow(ctx context.Context, spec DesignSpec, cfg FlowConfig, opt optimizer
 				// here, calibrated by init-route's overflow, consulted by
 				// the optimizer before every pass, and kept current by the
 				// tracker after every committed move batch.
-				est = proxy.New(p, proxy.DefaultConfig(p.Tech, cfg.Arch))
+				pcfg := proxy.DefaultConfig(p.Tech, cfg.Arch)
+				if obj != nil {
+					pcfg = proxy.DefaultConfigForObjective(p.Tech, obj)
+				}
+				est = proxy.New(p, pcfg)
 				prm.Guided = true
 				prm.Proxy = est
 				prm.GuidedColdFrac = cfg.GuidedColdFrac

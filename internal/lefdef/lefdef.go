@@ -265,6 +265,16 @@ func ParseLEF(r io.Reader, t *tech.Tech) (*cells.Library, error) {
 				}
 				cur.WidthSites = int(wdbu / t.SiteWidth)
 			}
+			if cur != nil && len(rest) >= 3 {
+				hdbu, err := toDBU(rest[2])
+				if err != nil {
+					return nil, fmt.Errorf("lefdef: bad SIZE height %q: %w", rest[2], err)
+				}
+				// Rows covered, rounded up: library validation rejects
+				// multi-height masters instead of letting the floorplan
+				// overlap them.
+				cur.HeightRows = int((hdbu + t.RowHeight - 1) / t.RowHeight)
+			}
 		case "PIN":
 			if cur != nil {
 				cur.Pins = append(cur.Pins, cells.Pin{Name: tk.next()})
@@ -348,7 +358,11 @@ func ParseLEF(r io.Reader, t *tech.Tech) (*cells.Library, error) {
 	for _, m := range masters {
 		m.Arch = arch
 	}
-	return cells.NewLibraryFromMasters(t, arch, masters), nil
+	lib, err := cells.NewLibraryFromMasters(t, arch, masters)
+	if err != nil {
+		return nil, fmt.Errorf("lefdef: parsed library: %w", err)
+	}
+	return lib, nil
 }
 
 func parseLayer(s string) (tech.Layer, error) {

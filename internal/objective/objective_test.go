@@ -1,0 +1,179 @@
+package objective
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"vm1place/internal/tech"
+)
+
+func TestRegistryNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	for _, want := range []string{"closedm1", "openm1", "netsep", "slackalpha"} {
+		if _, err := Lookup(want); err != nil {
+			t.Errorf("Lookup(%q) failed: %v", want, err)
+		}
+	}
+	// Names must round-trip: every listed name resolves to an objective
+	// reporting that name.
+	for _, n := range names {
+		o, err := Lookup(n)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", n, err)
+		}
+		if o.Name() != n {
+			t.Errorf("Lookup(%q).Name() = %q", n, o.Name())
+		}
+	}
+}
+
+func TestLookupUnknownWrapsSentinel(t *testing.T) {
+	_, err := Lookup("no-such-objective")
+	if err == nil {
+		t.Fatal("Lookup of unknown name succeeded")
+	}
+	if !errors.Is(err, ErrUnknownObjective) {
+		t.Errorf("error %v does not wrap ErrUnknownObjective", err)
+	}
+	if !strings.Contains(err.Error(), "closedm1") {
+		t.Errorf("error %v does not list registered names", err)
+	}
+}
+
+func TestForArchMapping(t *testing.T) {
+	cases := []struct {
+		arch tech.Arch
+		name string
+	}{
+		{tech.ClosedM1, "closedm1"},
+		{tech.OpenM1, "openm1"},
+		{tech.Conventional, "none"},
+	}
+	for _, c := range cases {
+		o := ForArch(c.arch)
+		if o.Name() != c.name {
+			t.Errorf("ForArch(%v) = %q, want %q", c.arch, o.Name(), c.name)
+		}
+	}
+	// The Conventional fallback must be inert: no pair ever feasible or
+	// realized, and the uniform scalarization.
+	o := ForArch(tech.Conventional)
+	w := Weights{Alpha: 100, Epsilon: 0.5}
+	if ok, _ := o.PairEval(w, PinGeom{AlignX: 5}, PinGeom{AlignX: 5}); ok {
+		t.Error("inert objective realized a pair")
+	}
+	pv := PinView{AlignX: []int64{5}, ExtLo: []int64{0}, ExtHi: []int64{100},
+		CenterX: []int64{50}, CenterY: []int64{0}, RowOf: []int{0}}
+	if o.PairFeasible(w, pv, pv) {
+		t.Error("inert objective reported a feasible pair")
+	}
+	if got := o.Value(w, 10, 3, 4, 0); got != 10-100*3-0.5*4 {
+		t.Errorf("inert Value = %v", got)
+	}
+}
+
+func TestClosedM1PairEval(t *testing.T) {
+	o, _ := Lookup("closedm1")
+	w := Weights{}
+	if ok, _ := o.PairEval(w, PinGeom{AlignX: 350}, PinGeom{AlignX: 350}); !ok {
+		t.Error("equal tracks not realized")
+	}
+	if ok, _ := o.PairEval(w, PinGeom{AlignX: 350}, PinGeom{AlignX: 450}); ok {
+		t.Error("different tracks realized")
+	}
+}
+
+func TestOpenM1PairEval(t *testing.T) {
+	o, _ := Lookup("openm1")
+	w := Weights{DeltaDBU: 50}
+	a := PinGeom{ExtLo: 0, ExtHi: 140}
+	b := PinGeom{ExtLo: 60, ExtHi: 200}
+	ok, over := o.PairEval(w, a, b) // overlap 60..140 = 80 >= 50
+	if !ok || over != 30 {
+		t.Errorf("PairEval = (%v, %d), want (true, 30)", ok, over)
+	}
+}
+
+func TestOpenM1PairEvalBelowDelta(t *testing.T) {
+	o, _ := Lookup("openm1")
+	w := Weights{DeltaDBU: 50}
+	a := PinGeom{ExtLo: 0, ExtHi: 140}
+	c := PinGeom{ExtLo: 100, ExtHi: 240} // overlap 40 < delta
+	if ok, _ := o.PairEval(w, a, c); ok {
+		t.Error("sub-delta overlap realized")
+	}
+}
+
+func TestNetSepPairEval(t *testing.T) {
+	o, _ := Lookup("netsep")
+	w := Weights{DeltaDBU: 50} // margin defaults to 4*delta = 200
+	a := PinGeom{CenterX: 1000}
+	b := PinGeom{CenterX: 1150}
+	ok, surplus := o.PairEval(w, a, b)
+	if !ok || surplus != 50 {
+		t.Errorf("PairEval = (%v, %d), want (true, 50)", ok, surplus)
+	}
+	far := PinGeom{CenterX: 1300}
+	if ok, _ := o.PairEval(w, a, far); ok {
+		t.Error("pair beyond margin realized")
+	}
+	// Explicit margin overrides the default.
+	w.MarginDBU = 400
+	if ok, surplus := o.PairEval(w, a, far); !ok || surplus != 100 {
+		t.Errorf("PairEval with margin 400 = (%v, %d), want (true, 100)", ok, surplus)
+	}
+}
+
+func TestSlackAlphaPairAlphaAndValue(t *testing.T) {
+	o, _ := Lookup("slackalpha")
+	w := Weights{Alpha: 1200, Epsilon: 0.02, NetAlpha: []float64{2, 0, -3}}
+	cases := []struct {
+		ni   int
+		want float64
+	}{
+		{0, 2400}, // scaled
+		{1, 1200}, // zero entry -> 1
+		{2, 1200}, // negative entry -> 1
+		{9, 1200}, // out of bounds -> 1
+	}
+	for _, c := range cases {
+		if got := o.PairAlpha(w, c.ni); got != c.want {
+			t.Errorf("PairAlpha(ni=%d) = %v, want %v", c.ni, got, c.want)
+		}
+	}
+	// Value consumes the net-ordered reward sum, not alpha*align.
+	if got := o.Value(w, 100, 3, 50, 2400); got != 100-2400-0.02*50 {
+		t.Errorf("Value = %v", got)
+	}
+	// Geometry is inherited from closedm1.
+	if o.Arch() != tech.ClosedM1 {
+		t.Errorf("slackalpha arch = %v", o.Arch())
+	}
+	if ok, _ := o.PairEval(w, PinGeom{AlignX: 7}, PinGeom{AlignX: 7}); !ok {
+		t.Error("slackalpha did not realize aligned tracks")
+	}
+}
+
+func TestUniformObjectivesValueFormula(t *testing.T) {
+	// Every uniform objective must scalarize exactly like the paper flows:
+	// weighted - alpha*align - epsilon*over, ignoring the reward argument.
+	w := Weights{Alpha: 1000, Epsilon: 0.02}
+	for _, name := range []string{"closedm1", "openm1", "netsep"} {
+		o, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 12345.5 - w.Alpha*float64(7) - w.Epsilon*float64(900)
+		if got := o.Value(w, 12345.5, 7, 900, 999); got != want {
+			t.Errorf("%s.Value = %v, want %v", name, got, want)
+		}
+		if o.PairAlpha(w, 3) != w.Alpha {
+			t.Errorf("%s.PairAlpha != Alpha", name)
+		}
+	}
+}

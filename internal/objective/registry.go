@@ -1,0 +1,85 @@
+package objective
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"vm1place/internal/lp"
+	"vm1place/internal/tech"
+)
+
+// ErrUnknownObjective reports a Lookup of a name no objective registered.
+// Lookup wraps it, so callers can errors.Is against it.
+var ErrUnknownObjective = errors.New("objective: unknown objective")
+
+// registry maps names to implementations. names mirrors the keys sorted,
+// maintained at Register time so listings never iterate the map.
+var (
+	registry = map[string]GeomObjective{}
+	names    []string
+)
+
+// Register adds an objective under its Name. Registration happens in
+// package init blocks; a duplicate name is a programming error.
+func Register(o GeomObjective) {
+	name := o.Name()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("objective: duplicate registration of %q", name)) // panic-ok: init-time registration invariant
+	}
+	registry[name] = o
+	i := sort.SearchStrings(names, name)
+	names = append(names, "")
+	copy(names[i+1:], names[i:])
+	names[i] = name
+}
+
+// Lookup resolves a registered objective by name. Unknown names return an
+// error wrapping ErrUnknownObjective that lists the registered names.
+func Lookup(name string) (GeomObjective, error) {
+	if o, ok := registry[name]; ok {
+		return o, nil
+	}
+	return nil, fmt.Errorf("%w: %q (registered: %s)",
+		ErrUnknownObjective, name, strings.Join(names, "|"))
+}
+
+// Names returns the registered objective names in sorted order.
+func Names() []string {
+	return append([]string(nil), names...)
+}
+
+// ForArch returns the paper objective matching a cell architecture — the
+// default when no objective is named explicitly. Architectures with
+// nothing to optimize (Conventional) get the inert "none" objective,
+// preserving the pre-refactor behavior of the Arch switches' default
+// cases: no pairs, Value = Σβn·wn.
+func ForArch(arch tech.Arch) GeomObjective {
+	switch arch {
+	case tech.ClosedM1:
+		return closedM1Obj
+	case tech.OpenM1:
+		return openM1Obj
+	default:
+		return noneObj
+	}
+}
+
+// none is the inert objective: no pair is ever feasible or realized.
+type none struct{}
+
+var noneObj GeomObjective = none{}
+
+func (none) Name() string                                   { return "none" }
+func (none) Arch() tech.Arch                                { return tech.Conventional }
+func (none) AlignGammaDefault(gammaRows int) int            { return 1 }
+func (none) PairAlpha(w Weights, ni int) float64            { return w.Alpha }
+func (none) PairEval(w Weights, a, b PinGeom) (bool, int64) { return false, 0 }
+func (none) PairFeasible(w Weights, a, b PinView) bool      { return false }
+func (none) EmitPair(e Emit, w Weights, d int, p, q PinView, tb []lp.Term) []lp.Term {
+	return tb
+}
+func (none) Value(w Weights, weighted float64, align int, over int64, reward float64) float64 {
+	return uniformValue(w, weighted, align, over)
+}

@@ -23,6 +23,7 @@ import (
 	"vm1place/internal/cells"
 	"vm1place/internal/layout"
 	"vm1place/internal/netlist"
+	"vm1place/internal/objective"
 	"vm1place/internal/route"
 	"vm1place/internal/tech"
 )
@@ -64,6 +65,15 @@ type Config struct {
 // model for an architecture.
 func DefaultConfig(t *tech.Tech, arch tech.Arch) Config {
 	return ConfigFromCostModel(route.DefaultConfig(t, arch).CostModel())
+}
+
+// DefaultConfigForObjective derives estimator parameters for a geometry
+// objective: the capacity model follows the cell architecture whose pin
+// geometry the objective evaluates, so objective-driven flows (expt,
+// cmd/vm1opt -objective) get a consistent congestion model without
+// re-deriving the architecture themselves.
+func DefaultConfigForObjective(t *tech.Tech, o objective.GeomObjective) Config {
+	return DefaultConfig(t, o.Arch())
 }
 
 // ConfigFromCostModel builds a Config from an explicit route.CostModel.
@@ -267,7 +277,7 @@ func (e *Estimator) buildInstNets() {
 	e.instNets = make([][]int32, nInsts)
 	off := int64(0)
 	for i, c := range counts {
-		e.instNets[i] = backing[off:off : off+int64(c)]
+		e.instNets[i] = backing[off : off : off+int64(c)]
 		off += int64(c)
 	}
 	last := make([]int32, nInsts)

@@ -152,6 +152,29 @@ func Default() *Tech {
 	}
 }
 
+// Default6Track returns the 6-track variant of Default: the same site
+// pitch with RowHeight compressed to 200 DBU (6/7.5 of the default 250).
+// Shorter rows pack more cells per unit area but leave fewer M0 tracks per
+// cell, so pins crowd and dM1 alignment is worth relatively more — the
+// track-count sweep (exptables -objsweep) quantifies that.
+func Default6Track() *Tech {
+	t := Default()
+	t.RowHeight = 200
+	return t
+}
+
+// Default9Track returns the 9-track variant of Default: RowHeight 300 DBU
+// (9/7.5 of the default 250). DBUPerMicron grows to 1200 so the row pitch
+// still divides the unit exactly (Validate requires it); the site pitch is
+// unchanged, so a µm-equivalent unit spans 12 sites x 4 rows here versus
+// the default 10 x 4.
+func Default9Track() *Tech {
+	t := Default()
+	t.DBUPerMicron = 1200
+	t.RowHeight = 300
+	return t
+}
+
 // SitesPerU returns the number of sites per µm-equivalent unit.
 func (t *Tech) SitesPerU() int64 { return t.DBUPerMicron / t.SiteWidth }
 
